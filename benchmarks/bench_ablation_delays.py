@@ -1,0 +1,119 @@
+"""Ablation: Table 1's exact VLIW delays versus the conservative column.
+
+Two findings, both straight from the paper's Section 2.2:
+
+1. **Under dynamic single assignment the columns coincide.**  DSA (the
+   EVR assumption) removes scalar anti-/output dependences, and the few
+   remaining memory anti-dependences point at stores, whose delay the two
+   columns nearly agree on — so compiling every DSL kernel under either
+   model yields the same MII and II.  That is exactly why the paper
+   assumes EVR-based input.
+
+2. **Without DSA the VLIW column wins.**  A scalar recurrence that is
+   *not* renamed (``use`` reads ``s``, ``def`` rewrites it) carries a
+   flow + anti circuit whose VLIW delay telescopes to 1 —
+   ``Latency + (1 - Latency)`` — while the conservative column leaves the
+   full ``Latency`` in the circuit: RecMII of 1 versus RecMII equal to
+   the operation latency.
+"""
+
+import statistics
+
+from repro.analysis import render_table
+from repro.core import compute_mii, modulo_schedule
+from repro.ir import DelayModel, DependenceGraph, DependenceKind
+from repro.loopir import compile_loop_full
+from repro.workloads import KERNELS
+
+
+def _dsa_rows(machine):
+    """Part 1: DSL kernels (DSA form) under both models."""
+    differing = 0
+    vliw_iis = []
+    cons_iis = []
+    for name in sorted(KERNELS):
+        iis = {}
+        for model in (DelayModel.VLIW, DelayModel.CONSERVATIVE):
+            lowered = compile_loop_full(
+                KERNELS[name].source, machine, name=name, delay_model=model
+            )
+            iis[model] = modulo_schedule(
+                lowered.graph, machine, budget_ratio=6.0
+            ).ii
+        vliw_iis.append(iis[DelayModel.VLIW])
+        cons_iis.append(iis[DelayModel.CONSERVATIVE])
+        if iis[DelayModel.VLIW] != iis[DelayModel.CONSERVATIVE]:
+            differing += 1
+    return differing, statistics.fmean(vliw_iis), statistics.fmean(cons_iis)
+
+
+def _unrenamed_register_reuse(machine, model, latency_opcode):
+    """Register reuse without DSA: each iteration overwrites register x.
+
+    ``def`` writes x, ``use`` reads it in the same iteration (flow,
+    distance 0); because x is reused rather than renamed, next
+    iteration's ``def`` must wait for this iteration's ``use``
+    (anti-dependence, distance 1) and for this iteration's ``def``
+    (output dependence, distance 1).  The flow + anti circuit has VLIW
+    delay ``Latency(def) + (1 - Latency(def)) = 1`` but conservative
+    delay ``Latency(def) + 0``.
+    """
+    graph = DependenceGraph(machine, delay_model=model)
+    definition = graph.add_operation(latency_opcode, dest="x", srcs=("a",))
+    use = graph.add_operation(latency_opcode, dest="y", srcs=("x",))
+    graph.add_edge(definition, use, DependenceKind.FLOW)
+    graph.add_edge(use, definition, DependenceKind.ANTI, distance=1)
+    graph.add_edge(
+        definition, definition, DependenceKind.OUTPUT, distance=1
+    )
+    return graph.seal()
+
+
+def test_ablation_delay_models(machine, emit, benchmark):
+    differing, vliw_mean, cons_mean = _dsa_rows(machine)
+
+    rows = []
+    gaps = {}
+    for opcode in ("fadd", "fmul", "fdiv"):
+        vliw = compute_mii(
+            _unrenamed_register_reuse(machine, DelayModel.VLIW, opcode), machine
+        )
+        cons = compute_mii(
+            _unrenamed_register_reuse(machine, DelayModel.CONSERVATIVE, opcode),
+            machine,
+        )
+        gaps[opcode] = (vliw.rec_mii, cons.rec_mii)
+        rows.append(
+            [
+                f"register reuse, {opcode}",
+                str(machine.latency(opcode)),
+                str(vliw.rec_mii),
+                str(cons.rec_mii),
+            ]
+        )
+    text = render_table(
+        ["case", "latency", "RecMII (VLIW)", "RecMII (conservative)"],
+        rows,
+        title=(
+            "Delay-model ablation.  Part 1 — DSA kernels: "
+            f"{differing}/{len(KERNELS)} kernels differ "
+            f"(mean II {vliw_mean:.2f} vs {cons_mean:.2f}): with EVR-style "
+            "renaming the columns coincide.  Part 2 — without renaming:"
+        ),
+    )
+    emit("ablation_delays", text)
+
+    # Part 1: DSA makes the model irrelevant on this corpus.
+    assert differing <= len(KERNELS) // 10
+    # Part 2: without DSA, conservative delays inflate the RecMII to the
+    # full operation latency while VLIW telescopes the circuit to ~1 plus
+    # the copy's cycle.
+    for opcode, (vliw_rec, cons_rec) in gaps.items():
+        assert vliw_rec < cons_rec, opcode
+        assert cons_rec >= machine.latency(opcode)
+
+    benchmark(
+        compute_mii,
+        _unrenamed_register_reuse(machine, DelayModel.VLIW, "fmul"),
+        machine,
+    )

@@ -1,0 +1,93 @@
+"""Ablation: operation scheduling vs instruction scheduling (§3.1 footnote).
+
+The paper chooses *operation* scheduling ("picks an operation and
+schedules it at whatever time slot is both legal and most desirable")
+over *instruction* scheduling ("picks a current time and schedules as
+many operations as possible at that time"), remarking only that the
+former "seems more natural" for the iterative framework.  This ablation
+quantifies the choice over the corpus: optimality rate, mean II/MII and
+scheduling effort for both styles.
+"""
+
+import statistics
+
+from repro.analysis import render_table
+from repro.core import SchedulingFailure, modulo_schedule
+
+SAMPLE = 300
+BUDGET_RATIO = 6.0
+
+
+def _aggregate(evaluations, machine, style):
+    optimal = 0
+    ratios = []
+    steps = 0
+    ops = 0
+    failures = 0
+    for evaluation in evaluations:
+        try:
+            result = modulo_schedule(
+                evaluation.loop.graph,
+                machine,
+                budget_ratio=BUDGET_RATIO,
+                mii_result=evaluation.mii_result,
+                style=style,
+            )
+        except SchedulingFailure:
+            failures += 1
+            continue
+        if result.ii == evaluation.mii:
+            optimal += 1
+        ratios.append(result.ii / evaluation.mii)
+        steps += result.steps_total
+        ops += evaluation.loop.graph.n_ops
+    return {
+        "optimal": optimal / len(evaluations),
+        "mean_ratio": statistics.fmean(ratios),
+        "inefficiency": steps / ops,
+        "failures": failures,
+    }
+
+
+def test_ablation_scheduling_style(machine, evaluations, emit, benchmark):
+    sample = evaluations[:SAMPLE]
+    results = {
+        style: _aggregate(sample, machine, style)
+        for style in ("operation", "instruction")
+    }
+    rows = [
+        [
+            style,
+            f"{r['optimal']:.3f}",
+            f"{r['mean_ratio']:.3f}",
+            f"{r['inefficiency']:.2f}",
+            str(r["failures"]),
+        ]
+        for style, r in results.items()
+    ]
+    text = render_table(
+        ["style", "frac II=MII", "mean II/MII", "steps/op", "failures"],
+        rows,
+        title=(
+            f"Scheduling-style ablation ({len(sample)} loops, "
+            f"BudgetRatio={BUDGET_RATIO}):"
+        ),
+    )
+    emit("ablation_scheduling_style", text)
+
+    operation = results["operation"]
+    instruction = results["instruction"]
+    # The paper's choice must hold up: operation scheduling finds at
+    # least as many optimal IIs at no greater achieved II overall.
+    assert operation["optimal"] >= instruction["optimal"] - 1e-9
+    assert operation["mean_ratio"] <= instruction["mean_ratio"] + 1e-9
+    assert operation["failures"] == 0
+
+    benchmark(
+        modulo_schedule,
+        sample[0].loop.graph,
+        machine,
+        BUDGET_RATIO,
+        mii_result=sample[0].mii_result,
+        style="instruction",
+    )

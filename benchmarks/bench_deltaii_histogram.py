@@ -1,0 +1,36 @@
+"""Section 4.3's DeltaII census: how often the MII bound is achieved.
+
+The paper: of 1327 loops, 96% achieved II = MII; 32 loops had DeltaII of
+1, 8 had 2, 11 had more than 2 (all but two of those at 6 or less).  This
+bench prints the same histogram for our corpus and asserts the shape: the
+mass sits at zero and the tail is short.
+"""
+
+from collections import Counter
+
+from repro.analysis import render_table
+from repro.core import compute_mii
+
+
+def test_deltaii_histogram(machine, corpus, evaluations, emit, benchmark):
+    census = Counter(e.delta_ii for e in evaluations)
+    total = len(evaluations)
+    rows = [
+        [str(delta), str(count), f"{count / total:.3f}"]
+        for delta, count in sorted(census.items())
+    ]
+    text = render_table(
+        ["DeltaII", "loops", "fraction"],
+        rows,
+        title=f"DeltaII histogram over {total} loops (BudgetRatio=6):",
+    )
+    emit("deltaii_histogram", text)
+
+    assert census[0] / total >= 0.85  # paper: 0.96
+    # The tail is short: a handful of loops a few II above the bound
+    # (paper's worst was 20; our machine's 19-cycle load-return pattern
+    # can push a rare loop slightly past that).
+    assert max(census) <= 40
+    assert sum(count for d, count in census.items() if d > 2) / total <= 0.05
+
+    benchmark(compute_mii, corpus[0].graph, machine)

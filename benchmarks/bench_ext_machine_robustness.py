@@ -1,0 +1,67 @@
+"""Extension: does the algorithm's quality survive other machine models?
+
+The paper evaluates one machine (the Cydra 5).  A practical scheduler
+must deliver the same near-optimality on very different targets — simple
+tables, wide issue, short latencies.  This bench reruns the DSL-kernel
+corpus on three additional machines and checks the headline metrics
+(fraction of loops at II = MII, mean II/MII, steps per op) hold
+everywhere.
+"""
+
+import statistics
+
+from repro.analysis import render_table
+from repro.core import compute_mii, modulo_schedule
+from repro.loopir import compile_loop_full
+from repro.machine import (
+    cydra5,
+    single_alu_machine,
+    superscalar_machine,
+    two_alu_machine,
+)
+from repro.workloads import KERNELS
+
+MACHINES = [cydra5, two_alu_machine, superscalar_machine, single_alu_machine]
+
+
+def test_machine_robustness(emit, benchmark):
+    rows = []
+    summary = {}
+    for factory in MACHINES:
+        machine = factory()
+        optimal = 0
+        ratios = []
+        steps = []
+        for name in sorted(KERNELS):
+            lowered = compile_loop_full(
+                KERNELS[name].source, machine, name=name
+            )
+            result = modulo_schedule(lowered.graph, machine, budget_ratio=6.0)
+            if result.delta_ii == 0:
+                optimal += 1
+            ratios.append(result.ii_ratio)
+            steps.append(result.inefficiency)
+        frac = optimal / len(KERNELS)
+        summary[machine.name] = (frac, statistics.fmean(ratios))
+        rows.append(
+            [
+                machine.name,
+                f"{frac:.3f}",
+                f"{statistics.fmean(ratios):.3f}",
+                f"{max(ratios):.3f}",
+                f"{statistics.fmean(steps):.2f}",
+            ]
+        )
+    text = render_table(
+        ["machine", "frac II=MII", "mean II/MII", "worst II/MII", "steps/op"],
+        rows,
+        title=f"Schedule quality across machines ({len(KERNELS)} kernels):",
+    )
+    emit("ext_machine_robustness", text)
+
+    for name, (frac, mean_ratio) in summary.items():
+        assert frac >= 0.85, name
+        assert mean_ratio <= 1.05, name
+
+    lowered = compile_loop_full(KERNELS["sdot"].source, superscalar_machine())
+    benchmark(modulo_schedule, lowered.graph, superscalar_machine(), 6.0)

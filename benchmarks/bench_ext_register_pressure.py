@@ -1,0 +1,72 @@
+"""Extension: register cost of modulo schedules (Huff [18], Rau [35]).
+
+The paper's references motivate two register-side questions this bench
+answers over the corpus:
+
+* **MaxLive** — how many values are simultaneously live in steady state
+  (the lower bound any allocator must meet), and how it scales with the
+  degree of pipelining (stage count);
+* **allocator overhead** — how far the simple block rotating allocator
+  of :mod:`repro.codegen.rotation` sits above MaxLive (reference [35]'s
+  best-fit packing would close part of this gap).
+"""
+
+import statistics
+
+from repro.analysis import fit_linear, render_table
+from repro.codegen import allocate_rotating, compute_lifetimes, register_pressure
+
+SAMPLE = 400
+
+
+def test_register_pressure(machine, corpus, evaluations, emit, benchmark):
+    sample = evaluations[:SAMPLE]
+    max_lives = []
+    overheads = []
+    stages = []
+    for evaluation in sample:
+        graph = evaluation.loop.graph
+        schedule = evaluation.result.schedule
+        lifetimes = compute_lifetimes(graph, schedule)
+        report = register_pressure(graph, schedule, lifetimes)
+        allocation = allocate_rotating(graph, schedule, lifetimes)
+        assert allocation.size >= report.max_live, evaluation.loop.name
+        max_lives.append(report.max_live)
+        stages.append(schedule.stage_count)
+        if report.max_live:
+            overheads.append(allocation.size / report.max_live)
+
+    stage_fit = fit_linear(stages, max_lives)
+    rows = [
+        ["MaxLive (mean)", f"{statistics.fmean(max_lives):.1f}"],
+        ["MaxLive (median)", f"{statistics.median(max_lives):.1f}"],
+        ["MaxLive (max)", str(max(max_lives))],
+        [
+            "rotating-file overhead vs MaxLive (mean)",
+            f"{statistics.fmean(overheads):.2f}x",
+        ],
+        [
+            "rotating-file overhead vs MaxLive (median)",
+            f"{statistics.median(overheads):.2f}x",
+        ],
+        ["MaxLive vs stage count (LMS slope)", f"{stage_fit.slope:.2f}"],
+    ]
+    text = render_table(
+        ["metric", "value"],
+        rows,
+        title=f"Register pressure over {len(sample)} loops (BudgetRatio=6):",
+    )
+    emit("ext_register_pressure", text)
+
+    # Deeper pipelining means more concurrent iterations, hence more live
+    # values: the slope must be positive and material.
+    assert stage_fit.slope > 0.5
+    # The block allocator stays within a small constant of the bound.
+    assert statistics.fmean(overheads) <= 3.0
+
+    sample_eval = sample[0]
+    benchmark(
+        register_pressure,
+        sample_eval.loop.graph,
+        sample_eval.result.schedule,
+    )

@@ -1,0 +1,47 @@
+"""Table 3, rows 7-11: schedule quality at the paper's BudgetRatio of 6.
+
+Regenerates: II - MII, II / MII, schedule length ratio, execution time
+ratio (over executed loops), and number of nodes scheduled per node.  The
+paper's shape: II = MII for the overwhelming majority (96%); SL within
+1.5x of its (not necessarily achievable) bound; aggregate execution time
+a few percent over the bound; ~90% of loops schedule every operation
+exactly once.
+"""
+
+from repro.analysis import render_table, table3_rows
+from repro.core import modulo_schedule
+
+
+def _rows(evaluations):
+    return table3_rows(evaluations)[6:]
+
+
+def test_table3_schedule_quality(machine, corpus, evaluations, emit, benchmark):
+    rows = _rows(evaluations)
+    executed = sum(1 for e in evaluations if e.loop.executed)
+    text = render_table(
+        ["Measurement", "Min poss.", "Freq(min)", "Median", "Mean", "Max"],
+        [row.cells() for row in rows],
+        title=(
+            f"Table 3 (rows 7-11) over {len(evaluations)} loops "
+            f"({executed} executed), BudgetRatio=6:"
+        ),
+    )
+    emit("table3_schedule_quality", text)
+
+    by_name = {row.name: row for row in rows}
+    # Shape assertions (paper values in comments).
+    assert by_name["II - MII"].frequency_of_minimum >= 0.85  # 0.96
+    assert by_name["II / MII"].mean <= 1.10  # 1.01
+    assert by_name["Schedule length (ratio)"].mean <= 1.35  # 1.07
+    assert by_name["Execution time (ratio)"].mean <= 1.15  # 1.05
+    assert by_name["Number of nodes scheduled (ratio)"].mean <= 1.5  # 1.03
+
+    sample = corpus[0]
+    benchmark(
+        modulo_schedule,
+        sample.graph,
+        machine,
+        6.0,
+        mii_result=evaluations[0].mii_result,
+    )

@@ -1,0 +1,67 @@
+"""Section 4.3's comparison with unroll-before-scheduling.
+
+The paper argues that an unrolling scheme must come within ~2.8% of the
+execution-time bound *without* replicating more than 2.18x of the loop
+body to be competitive with iterative modulo scheduling — and that real
+unrollers replicate many tens of copies.  This bench measures, per unroll
+factor, the throughput (cycles per original iteration) of
+unroll-then-list-schedule against the modulo scheduler's II, plus the
+code growth both pay (the modulo scheduler's growth is its scheduling
+inefficiency: ~1.59 copies-equivalent at BudgetRatio 2, per the paper's
+accounting).
+"""
+
+import statistics
+
+from repro.analysis import render_table
+from repro.baselines import unroll_and_schedule
+
+FACTORS = [1, 2, 4, 8, 16]
+#: Number of corpus loops to unroll (16x replication of 1327 loops is
+#: needlessly slow; a prefix keeps all hand-written kernels in the mix).
+SAMPLE = 150
+
+
+def test_unrolling_comparison(machine, corpus, evaluations, emit, benchmark):
+    sample = evaluations[:SAMPLE]
+    rows = []
+    ratio_by_factor = {}
+    for factor in FACTORS:
+        ratios = []
+        for evaluation in sample:
+            unrolled = unroll_and_schedule(
+                evaluation.loop.graph, machine, factor
+            )
+            ratios.append(unrolled.effective_ii / evaluation.ii)
+        mean_ratio = statistics.fmean(ratios)
+        ratio_by_factor[factor] = mean_ratio
+        rows.append(
+            [
+                str(factor),
+                f"{mean_ratio:.2f}",
+                f"{statistics.median(ratios):.2f}",
+                f"{factor:.2f}x",
+            ]
+        )
+    text = render_table(
+        [
+            "unroll factor",
+            "mean cycles/iter vs modulo II",
+            "median",
+            "code growth",
+        ],
+        rows,
+        title=(
+            f"Unroll-before-scheduling vs iterative modulo scheduling "
+            f"({len(sample)} loops):"
+        ),
+    )
+    emit("unrolling_comparison", text)
+
+    # Shape: unrolling monotonically approaches modulo throughput but is
+    # still behind at the paper's 2.18x code-growth budget (factor 2).
+    assert ratio_by_factor[1] > ratio_by_factor[16]
+    assert ratio_by_factor[2] > 1.05
+    assert ratio_by_factor[16] >= 1.0 - 1e-9
+
+    benchmark(unroll_and_schedule, sample[0].loop.graph, machine, 4)

@@ -1,0 +1,65 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures over the
+paper-sized corpus (1327 loops) on the reconstructed Cydra 5, prints it,
+and writes it to ``benchmarks/results/`` for EXPERIMENTS.md.  Set
+``REPRO_BENCH_LOOPS`` to shrink the corpus for quick runs.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import evaluate_corpus
+from repro.machine import cydra5
+from repro.workloads import build_corpus
+from repro.workloads.corpus import PAPER_CORPUS_SIZE
+from repro.workloads.kernels import KERNELS
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: BudgetRatio used for the quality experiments (the paper's Table 3 used
+#: 6, "well above the largest value actually needed by any loop").
+QUALITY_BUDGET_RATIO = 6.0
+
+
+def _corpus_size() -> int:
+    value = os.environ.get("REPRO_BENCH_LOOPS", "")
+    if value:
+        return max(len(KERNELS) + 1, int(value))
+    return PAPER_CORPUS_SIZE
+
+
+@pytest.fixture(scope="session")
+def machine():
+    return cydra5()
+
+
+@pytest.fixture(scope="session")
+def corpus(machine):
+    n_synthetic = _corpus_size() - len(KERNELS)
+    return build_corpus(machine, n_synthetic=n_synthetic, seed=0)
+
+
+@pytest.fixture(scope="session")
+def evaluations(machine, corpus):
+    """Full-corpus evaluation at the quality BudgetRatio, exact MII."""
+    return evaluate_corpus(
+        corpus, machine, budget_ratio=QUALITY_BUDGET_RATIO, exact_mii=True
+    )
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Write a named result artifact and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return _emit

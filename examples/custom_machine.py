@@ -1,0 +1,93 @@
+"""Describe your own machine and see how its structure shapes the II.
+
+Builds a small DSP-style VLIW with a multiply-accumulate pipeline whose
+reservation tables share a writeback bus (Figure-1-style complex tables),
+schedules an FIR-like kernel on it, and contrasts the result with a
+bus-free variant of the same machine.
+
+Run:  python examples/custom_machine.py
+"""
+
+from repro import MachineDescription, Opcode, ReservationTable, modulo_schedule
+from repro.loopir import compile_loop_full
+from repro.machine import render_reservation_tables
+from repro.simulator import check_equivalence
+
+SOURCE = """
+for i in n:
+    acc = acc + h0 * x[i] + h1 * x[i+1]
+    y[i] = acc * g
+"""
+
+
+def _front_end_opcodes(mem_table, alu_tables, mul_tables):
+    """The opcode set the loop front end emits, on the given units."""
+    opcodes = [
+        Opcode("load", 4, mem_table),
+        Opcode("store", 1, mem_table),
+        Opcode("brtop", 1, alu_tables),
+    ]
+    for name in ("aadd", "asub", "copy", "limm", "select",
+                 "cmp_lt", "cmp_le", "cmp_eq", "cmp_ne", "cmp_gt",
+                 "cmp_ge", "pand", "por", "pnot",
+                 "fadd", "fsub", "fmin", "fmax", "fabs", "fneg"):
+        opcodes.append(Opcode(name, 2, alu_tables))
+    for name in ("fmul", "mul"):
+        opcodes.append(Opcode(name, 3, mul_tables))
+    for name in ("fdiv", "div", "fsqrt"):
+        opcodes.append(Opcode(name, 12, mul_tables))
+    return opcodes
+
+
+def shared_bus_machine() -> MachineDescription:
+    """ALU and MAC pipelines deposit results on one shared bus."""
+    resources = ("mem", "alu", "mac0", "mac1", "wb_bus")
+    mem = [ReservationTable("mem", [("mem", 0)])]
+    alu = [ReservationTable("alu", [("alu", 0), ("wb_bus", 1)])]
+    mac = [ReservationTable("mac", [("mac0", 0), ("mac1", 1), ("wb_bus", 2)])]
+    return MachineDescription(
+        "dsp_shared_bus", resources, _front_end_opcodes(mem, alu, mac)
+    )
+
+
+def private_bus_machine() -> MachineDescription:
+    """Same pipelines, private writeback paths."""
+    resources = ("mem", "alu", "mac0", "mac1")
+    mem = [ReservationTable("mem", [("mem", 0)])]
+    alu = [ReservationTable("alu", [("alu", 0)])]
+    mac = [ReservationTable("mac", [("mac0", 0), ("mac1", 1)])]
+    return MachineDescription(
+        "dsp_private_bus", resources, _front_end_opcodes(mem, alu, mac)
+    )
+
+
+def main() -> None:
+    shared = shared_bus_machine()
+    print("The shared-bus machine's ALU and MAC tables (note wb_bus):\n")
+    print(
+        render_reservation_tables(
+            [shared.opcode("fadd").alternatives[0],
+             shared.opcode("fmul").alternatives[0]]
+        )
+    )
+    for machine in (shared, private_bus_machine()):
+        lowered = compile_loop_full(SOURCE, machine, name="fir2")
+        result = modulo_schedule(lowered.graph, machine, budget_ratio=6.0)
+        report = check_equivalence(lowered, result.schedule, n=40, seed=2)
+        print(
+            f"\n{machine.name}: ResMII={result.mii_result.res_mii} "
+            f"RecMII={result.mii_result.rec_mii} -> II={result.ii}, "
+            f"SL={result.schedule_length}, "
+            f"steps/op={result.inefficiency:.2f}, "
+            f"simulation {'OK' if report.ok else 'FAILED'}"
+        )
+    print(
+        "\nThe shared writeback bus is a real structural hazard: the "
+        "scheduler must dodge cross-unit collisions (and sometimes "
+        "displace already-placed operations), which can cost initiation "
+        "interval relative to the private-bus design."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Recurrences are the other wall: explore RecMII on real kernels.
+
+For three loops — vectorizable, first-order recurrence, second-order
+recurrence — this example shows where the MII comes from (resources vs
+the critical recurrence circuit), how the scheduler fares against it,
+and what that means for execution time versus list scheduling and
+unrolling.
+
+Run:  python examples/recurrence_explorer.py
+"""
+
+from repro import cydra5, modulo_schedule
+from repro.analysis.model import execution_time
+from repro.baselines import list_schedule_length, unroll_and_schedule
+from repro.loopir import compile_loop_full
+
+KERNELS = {
+    "vectorizable (saxpy)": """
+for i in n:
+    y[i] = y[i] + a * x[i]
+""",
+    "first-order recurrence (IIR)": """
+for i in n:
+    s = a0 * x[i] + b1 * s
+    y[i] = s
+""",
+    "second-order recurrence (IIR2)": """
+for i in n:
+    y[i] = a0 * x[i] + b1 * y[i-1] + b2 * y[i-2]
+""",
+}
+
+TRIP = 1000
+
+
+def main() -> None:
+    machine = cydra5()
+    for title, source in KERNELS.items():
+        lowered = compile_loop_full(source, machine, name=title)
+        result = modulo_schedule(lowered.graph, machine, budget_ratio=6.0)
+        mii = result.mii_result
+        limiter = "resources" if mii.res_mii >= mii.rec_mii else "recurrence"
+        sl = result.schedule_length
+        list_sl = list_schedule_length(lowered.graph, machine)
+        pipelined = execution_time(1, TRIP, sl, result.ii)
+        sequential = execution_time(1, TRIP, list_sl, list_sl)
+        unrolled4 = unroll_and_schedule(lowered.graph, machine, 4)
+        unrolled_time = execution_time(
+            1, TRIP // 4, unrolled4.schedule_length, unrolled4.schedule_length
+        )
+        print(f"=== {title}")
+        print(
+            f"  ResMII={mii.res_mii}  RecMII={mii.rec_mii}  "
+            f"MII={mii.mii}  (limited by {limiter})"
+        )
+        print(f"  achieved II={result.ii}, SL={sl}")
+        print(
+            f"  non-trivial SCCs: {mii.n_nontrivial_sccs} "
+            f"(sizes {mii.scc_sizes[:3]}...)"
+        )
+        print(f"  {TRIP}-iteration execution time:")
+        print(f"    modulo scheduled : {pipelined:>8} cycles")
+        print(
+            f"    unrolled 4x      : {unrolled_time:>8} cycles "
+            f"(4x code growth)"
+        )
+        print(f"    list scheduled   : {sequential:>8} cycles")
+        print(
+            f"    speedup vs list  : {sequential / pipelined:>8.2f}x"
+        )
+        print()
+    print(
+        "Vectorizable loops pipeline down to the resource bound; "
+        "recurrences clamp the II at Delay(c)/Distance(c) no matter how "
+        "many functional units the machine has."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+`pip install -e .` needs the `wheel` package for PEP 660 editable builds;
+fully offline environments without it can use `python setup.py develop`
+instead (or add `src/` to a .pth file).  All real metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,13 @@
+"""``python -m repro``: the command-line interface."""
+
+import sys
+
+from repro.cli import main
+
+try:
+    code = main()
+except BrokenPipeError:
+    # Output piped into e.g. `head`; exit quietly like a well-behaved CLI.
+    sys.stderr.close()
+    code = 0
+sys.exit(code)

@@ -1,0 +1,35 @@
+"""Evaluation harness: the statistics of Section 4.
+
+* :mod:`repro.analysis.distribution` — the Table-3 row format
+  (minimum possible value, frequency of the minimum, median, mean, max);
+* :mod:`repro.analysis.model` — the execution-time model
+  ``EntryFreq*SL + (LoopFreq-EntryFreq)*II`` and its lower bound;
+* :mod:`repro.analysis.regression` — least-mean-square fits of counter
+  data against N for the Table-4 complexity study;
+* :mod:`repro.analysis.runner` — one-stop evaluation of a corpus loop
+  (MII, modulo schedule, list-schedule and MinDist lower bounds, counters);
+* :mod:`repro.analysis.report` — plain-text table/series rendering.
+"""
+
+from repro.analysis.distribution import DistributionRow, distribution_row
+from repro.analysis.model import execution_time, execution_time_bound
+from repro.analysis.regression import fit_linear, fit_quadratic, fit_power
+from repro.analysis.runner import LoopEvaluation, evaluate_loop, evaluate_corpus
+from repro.analysis.report import render_table, render_series
+from repro.analysis.tables import table3_rows
+
+__all__ = [
+    "DistributionRow",
+    "distribution_row",
+    "execution_time",
+    "execution_time_bound",
+    "fit_linear",
+    "fit_quadratic",
+    "fit_power",
+    "LoopEvaluation",
+    "evaluate_loop",
+    "evaluate_corpus",
+    "render_table",
+    "render_series",
+    "table3_rows",
+]

@@ -1,0 +1,33 @@
+"""The execution-time model of Section 4.3.
+
+Total time spent in a loop, over all visits, assuming no stalls::
+
+    EntryFreq * SL + (LoopFreq - EntryFreq) * II
+
+Each entry pays the pipeline fill/drain once (SL, the single-iteration
+schedule length) and each subsequent iteration costs II.  Except for tiny
+trip counts, the II term dominates, which is why II is the primary metric
+of schedule quality and SL the secondary one.
+"""
+
+from __future__ import annotations
+
+
+def execution_time(entry_freq: int, loop_freq: int, sl: int, ii: int) -> int:
+    """The paper's execution-time formula for one loop."""
+    if entry_freq < 0 or loop_freq < entry_freq:
+        raise ValueError(
+            f"need 0 <= entry_freq <= loop_freq, got {entry_freq}, {loop_freq}"
+        )
+    return entry_freq * sl + (loop_freq - entry_freq) * ii
+
+
+def execution_time_bound(
+    entry_freq: int, loop_freq: int, sl_lower_bound: int, mii: int
+) -> int:
+    """Lower bound on execution time: the formula at the SL and II bounds.
+
+    Neither bound is necessarily achievable (the paper notes this twice),
+    so ratios against this bound understate true schedule quality.
+    """
+    return execution_time(entry_freq, loop_freq, sl_lower_bound, mii)

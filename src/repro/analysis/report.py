@@ -1,0 +1,42 @@
+"""Plain-text rendering of tables and series for the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence[str]], title: str = ""
+) -> str:
+    """Render an aligned plain-text table."""
+    rows = [tuple(str(cell) for cell in row) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append(
+            "  ".join(cell.rjust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    y_labels: Sequence[str],
+    points: Sequence[Tuple[float, Sequence[float]]],
+    title: str = "",
+    precision: int = 4,
+) -> str:
+    """Render an x-vs-many-y series as an aligned text block (Figure 6)."""
+    headers = [x_label] + list(y_labels)
+    rows = [
+        [f"{x:g}"] + [f"{y:.{precision}f}" for y in ys] for x, ys in points
+    ]
+    return render_table(headers, rows, title=title)

@@ -1,0 +1,146 @@
+"""One-stop evaluation of corpus loops: everything Section 4 measures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.analysis.model import execution_time, execution_time_bound
+from repro.baselines.list_scheduler import list_schedule_length
+from repro.core.mii import MIIResult, compute_mii
+from repro.core.mindist import schedule_length_lower_bound
+from repro.core.scheduler import ModuloScheduleResult, modulo_schedule
+from repro.core.stats import Counters
+from repro.workloads.corpus import CorpusLoop
+
+
+@dataclass
+class LoopEvaluation:
+    """All per-loop measurements used by the Table 3/4 and Figure 6 benches."""
+
+    loop: CorpusLoop
+    n_ops: int
+    n_real_ops: int
+    n_edges: int
+    mii_result: MIIResult
+    result: ModuloScheduleResult
+    list_sl: int
+    mindist_sl_at_mii: int
+    mindist_sl_at_ii: int
+    counters: Counters
+
+    # ------------------------------------------------------------------
+
+    @property
+    def mii(self) -> int:
+        """The MII lower bound for this loop."""
+        return self.mii_result.mii
+
+    @property
+    def ii(self) -> int:
+        """The achieved initiation interval."""
+        return self.result.ii
+
+    @property
+    def delta_ii(self) -> int:
+        """Achieved II minus the MII bound."""
+        return self.result.delta_ii
+
+    @property
+    def sl(self) -> int:
+        """The achieved schedule length."""
+        return self.result.schedule_length
+
+    @property
+    def sl_bound(self) -> int:
+        """Lower bound on SL at the achieved II (Section 4.2): the larger
+        of MinDist[START, STOP] and the acyclic list schedule length."""
+        return max(self.mindist_sl_at_ii, self.list_sl)
+
+    @property
+    def sl_bound_at_mii(self) -> int:
+        """SL lower bound evaluated at the MII (for the exec-time bound)."""
+        return max(self.mindist_sl_at_mii, self.list_sl)
+
+    @property
+    def sl_ratio(self) -> float:
+        """Achieved SL over its (not necessarily achievable) bound."""
+        bound = self.sl_bound
+        return self.sl / bound if bound else 1.0
+
+    @property
+    def exec_time(self) -> int:
+        """The Section 4.3 execution-time model at the achieved SL and II."""
+        return execution_time(
+            self.loop.entry_freq, self.loop.loop_freq, self.sl, self.ii
+        )
+
+    @property
+    def exec_bound(self) -> int:
+        """The execution-time lower bound (SL bound at MII, and MII)."""
+        return execution_time_bound(
+            self.loop.entry_freq,
+            self.loop.loop_freq,
+            self.sl_bound_at_mii,
+            self.mii,
+        )
+
+    @property
+    def exec_ratio(self) -> float:
+        """Execution time over its lower bound."""
+        bound = self.exec_bound
+        return self.exec_time / bound if bound else 1.0
+
+    @property
+    def schedule_ratio(self) -> float:
+        """Operations scheduled per operation, in the successful attempt."""
+        return self.result.steps_last / self.n_ops
+
+
+def evaluate_loop(
+    loop: CorpusLoop,
+    machine,
+    budget_ratio: float = 6.0,
+    exact_mii: bool = True,
+) -> LoopEvaluation:
+    """Schedule one corpus loop and gather every Section-4 measurement."""
+    counters = Counters()
+    mii_result = compute_mii(loop.graph, machine, counters, exact=exact_mii)
+    result = modulo_schedule(
+        loop.graph,
+        machine,
+        budget_ratio=budget_ratio,
+        counters=counters,
+        mii_result=mii_result,
+    )
+    list_sl = list_schedule_length(loop.graph, machine)
+    at_mii = schedule_length_lower_bound(loop.graph, mii_result.mii)
+    if result.ii == mii_result.mii:
+        at_ii = at_mii
+    else:
+        at_ii = schedule_length_lower_bound(loop.graph, result.ii)
+    return LoopEvaluation(
+        loop=loop,
+        n_ops=loop.graph.n_ops,
+        n_real_ops=loop.graph.n_real_ops,
+        n_edges=loop.graph.n_edges,
+        mii_result=mii_result,
+        result=result,
+        list_sl=list_sl,
+        mindist_sl_at_mii=at_mii,
+        mindist_sl_at_ii=at_ii,
+        counters=counters,
+    )
+
+
+def evaluate_corpus(
+    corpus: Sequence[CorpusLoop],
+    machine,
+    budget_ratio: float = 6.0,
+    exact_mii: bool = True,
+) -> List[LoopEvaluation]:
+    """Evaluate every loop of a corpus (order preserved)."""
+    return [
+        evaluate_loop(loop, machine, budget_ratio, exact_mii)
+        for loop in corpus
+    ]

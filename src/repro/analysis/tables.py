@@ -1,0 +1,72 @@
+"""The complete Table 3, as a reusable builder.
+
+The two Table-3 benchmarks, the CLI's ``corpus`` command and the
+``corpus_report`` example all print subsets of the same eleven rows; this
+module builds them all from a list of
+:class:`~repro.analysis.runner.LoopEvaluation` so every consumer agrees
+on definitions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.analysis.distribution import DistributionRow, distribution_row
+from repro.analysis.runner import LoopEvaluation
+
+
+def table3_rows(evaluations: Sequence[LoopEvaluation]) -> List[DistributionRow]:
+    """All eleven Table-3 rows, in the paper's order."""
+    executed = [e for e in evaluations if e.loop.executed]
+    per_scc_sizes = []
+    for evaluation in evaluations:
+        for component in evaluation.mii_result.components:
+            ops = [
+                op
+                for op in component
+                if not evaluation.loop.graph.operation(op).is_pseudo
+            ]
+            if ops:
+                per_scc_sizes.append(len(ops))
+    return [
+        distribution_row(
+            "Number of operations", [e.n_real_ops for e in evaluations], 4
+        ),
+        distribution_row("MII", [e.mii for e in evaluations], 1),
+        distribution_row(
+            "Minimum modulo schedule length",
+            [e.sl_bound_at_mii for e in evaluations],
+            4,
+        ),
+        distribution_row(
+            "max(0, RecMII - ResMII)",
+            [
+                max(0, e.mii_result.rec_mii - e.mii_result.res_mii)
+                for e in evaluations
+            ],
+            0,
+        ),
+        distribution_row(
+            "Number of non-trivial SCCs",
+            [e.mii_result.n_nontrivial_sccs for e in evaluations],
+            0,
+        ),
+        distribution_row("Number of nodes per SCC", per_scc_sizes, 1),
+        distribution_row("II - MII", [e.delta_ii for e in evaluations], 0),
+        distribution_row(
+            "II / MII", [e.result.ii_ratio for e in evaluations], 1
+        ),
+        distribution_row(
+            "Schedule length (ratio)", [e.sl_ratio for e in evaluations], 1
+        ),
+        distribution_row(
+            "Execution time (ratio)",
+            [e.exec_ratio for e in (executed or evaluations)],
+            1,
+        ),
+        distribution_row(
+            "Number of nodes scheduled (ratio)",
+            [e.schedule_ratio for e in evaluations],
+            1,
+        ),
+    ]

@@ -1,0 +1,23 @@
+"""Baseline schedulers the paper compares against or builds upon.
+
+* :mod:`repro.baselines.list_scheduler` — conventional acyclic list
+  scheduling of a single iteration.  It supplies the schedule-length lower
+  bound of Section 4.2 and is the complexity yardstick ("the cost of
+  iterative modulo scheduling is 2.18x that of acyclic list scheduling").
+* :mod:`repro.baselines.unroll` — the unroll-before-scheduling scheme: the
+  loop body is replicated, cross-copy dependences are kept, dependences
+  across the back edge are dropped (the scheduling barrier), and the
+  unrolled body is list-scheduled.  Section 4.3 argues such schemes need
+  more than 2.18x code growth to compete with modulo scheduling.
+"""
+
+from repro.baselines.list_scheduler import list_schedule, list_schedule_length
+from repro.baselines.unroll import unroll_graph, unroll_and_schedule, UnrollResult
+
+__all__ = [
+    "list_schedule",
+    "list_schedule_length",
+    "unroll_graph",
+    "unroll_and_schedule",
+    "UnrollResult",
+]

@@ -1,0 +1,111 @@
+"""Unroll-before-scheduling: the code-replicating alternative (Section 4.3).
+
+The loop body is replicated ``factor`` times.  A dependence at distance
+``d`` from copy ``c`` lands in copy ``c + d`` when that copy exists within
+the unrolled body; dependences that would cross the new back edge are
+dropped — that is precisely the *scheduling barrier* the approach suffers
+from.  The unrolled body is then list-scheduled, and the achieved
+per-original-iteration initiation interval is ``SL(unrolled) / factor``.
+
+The paper's argument: to be competitive with iterative modulo scheduling,
+such a scheme would have to come within a few percent of the execution-time
+lower bound without replicating more than 2.18x of the loop body.  The
+benchmark ``bench_unrolling_comparison`` measures exactly this trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.baselines.list_scheduler import list_schedule
+from repro.core.schedule import Schedule
+from repro.core.stats import Counters
+from repro.ir.graph import DependenceGraph, GraphError
+
+
+def unroll_graph(graph: DependenceGraph, factor: int) -> DependenceGraph:
+    """Replicate the loop body ``factor`` times into a new sealed graph.
+
+    Copy ``c`` of operation ``i`` keeps the opcode, registers and
+    attributes of ``i`` (registers are suffixed with the copy number so the
+    result is still a well-formed graph).  A dependence ``i -> j`` at
+    distance ``d`` becomes, for each copy ``c`` with ``c + d < factor``, a
+    distance-0 edge from copy ``c`` of ``i`` to copy ``c + d`` of ``j``;
+    edges with ``c + d >= factor`` cross the back edge of the unrolled loop
+    and are dropped (the scheduling barrier).  Inter-copy edges at
+    distance 0 between different copies are *intra*-body dependences of the
+    unrolled loop.
+    """
+    if not graph.sealed:
+        raise GraphError(f"graph {graph.name!r} must be sealed")
+    if factor < 1:
+        raise ValueError(f"unroll factor must be >= 1, got {factor}")
+    unrolled = DependenceGraph(
+        graph._latencies,  # same latency provider as the original
+        name=f"{graph.name}#unroll{factor}",
+        delay_model=graph.delay_model,
+    )
+    index_map: Dict[Tuple[int, int], int] = {}
+    for copy in range(factor):
+        for op in graph.real_operations():
+            new_index = unrolled.add_operation(
+                op.opcode,
+                dest=f"{op.dest}.{copy}" if op.dest else None,
+                srcs=tuple(f"{s}.{copy}" for s in op.srcs),
+                predicate=f"{op.predicate}.{copy}" if op.predicate else None,
+                **op.attrs,
+            )
+            index_map[(op.index, copy)] = new_index
+    for edge in graph.edges:
+        pred_op = graph.operation(edge.pred)
+        succ_op = graph.operation(edge.succ)
+        if pred_op.is_pseudo or succ_op.is_pseudo:
+            continue
+        for copy in range(factor):
+            target_copy = copy + edge.distance
+            if target_copy >= factor:
+                continue
+            unrolled.add_edge(
+                index_map[(edge.pred, copy)],
+                index_map[(edge.succ, target_copy)],
+                edge.kind,
+                distance=0,
+                delay=edge.delay,
+            )
+    return unrolled.seal()
+
+
+@dataclass
+class UnrollResult:
+    """Outcome of unroll-then-list-schedule at one unroll factor."""
+
+    factor: int
+    schedule: Schedule
+    schedule_length: int
+
+    @property
+    def effective_ii(self) -> float:
+        """Cycles per original iteration (the barrier serializes bodies)."""
+        return self.schedule_length / self.factor
+
+    @property
+    def code_growth(self) -> float:
+        """Static code size relative to the original body."""
+        return float(self.factor)
+
+
+def unroll_and_schedule(
+    graph: DependenceGraph,
+    machine,
+    factor: int,
+    counters: Optional[Counters] = None,
+) -> UnrollResult:
+    """Unroll ``factor`` times, list-schedule, and report the trade-off."""
+    unrolled = unroll_graph(graph, factor)
+    schedule = list_schedule(unrolled, machine, counters)
+    return UnrollResult(
+        factor=factor,
+        schedule=schedule,
+        schedule_length=schedule.times[unrolled.stop],
+    )

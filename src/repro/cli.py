@@ -1,0 +1,277 @@
+"""Command-line interface: compile, analyze and schedule DSL loops.
+
+Usage (see ``python -m repro --help``)::
+
+    python -m repro machines
+    python -m repro mii loop.dsl --machine cydra5
+    python -m repro schedule loop.dsl --budget-ratio 2 --verify 50 --kernel
+    python -m repro schedule loop.dsl --json > schedule.json
+    python -m repro corpus --loops 200
+
+``loop.dsl`` contains a single DSL loop, e.g.::
+
+    for i in n:
+        s = s + x[i] * y[i]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.core import compute_mii, modulo_schedule, recommend_unroll
+from repro.ir import DelayModel, schedule_to_json
+from repro.loopir import compile_loop_full
+from repro.machine import (
+    bus_conflict_machine,
+    cydra5,
+    single_alu_machine,
+    superscalar_machine,
+    two_alu_machine,
+)
+from repro.simulator import check_equivalence
+
+MACHINES: Dict[str, Callable] = {
+    "cydra5": cydra5,
+    "single_alu": single_alu_machine,
+    "two_alu": two_alu_machine,
+    "superscalar": superscalar_machine,
+    "bus_conflict": bus_conflict_machine,
+}
+
+
+def _machine_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--machine",
+        choices=sorted(MACHINES),
+        default="cydra5",
+        help="target machine description (default: cydra5)",
+    )
+    parser.add_argument(
+        "--conservative-delays",
+        action="store_true",
+        help="use Table 1's conservative (superscalar) delay column",
+    )
+
+
+def _compile(args, out):
+    """Compile the DSL file named by args; returns (lowered, machine)."""
+    machine = MACHINES[args.machine]()
+    source = sys.stdin.read() if args.file == "-" else open(args.file).read()
+    model = (
+        DelayModel.CONSERVATIVE
+        if args.conservative_delays
+        else DelayModel.VLIW
+    )
+    return compile_loop_full(source, machine, delay_model=model), machine
+
+
+def _cmd_machines(args, out) -> int:
+    for name in sorted(MACHINES):
+        machine = MACHINES[name]()
+        census = machine.table_kind_census()
+        shapes = ", ".join(f"{k.value}:{v}" for k, v in census.items() if v)
+        print(
+            f"{name:<14} {len(machine.resources):>2} resources, "
+            f"{len(machine.opcode_names):>2} opcodes  [{shapes}]",
+            file=out,
+        )
+    return 0
+
+
+def _cmd_mii(args, out) -> int:
+    lowered, machine = _compile(args, out)
+    result = compute_mii(lowered.graph, machine, exact=True)
+    print(f"loop: {lowered.graph.n_real_ops} operations, "
+          f"{lowered.graph.n_edges} edges", file=out)
+    print(f"ResMII = {result.res_mii}", file=out)
+    print(f"RecMII = {result.rec_mii}", file=out)
+    print(f"MII    = {result.mii}", file=out)
+    print(
+        f"non-trivial SCCs: {result.n_nontrivial_sccs} "
+        f"(largest {max(result.scc_sizes)})",
+        file=out,
+    )
+    if args.recommend_unroll > 1:
+        recommendation = recommend_unroll(
+            lowered.graph, machine, max_factor=args.recommend_unroll
+        )
+        table = ", ".join(
+            f"{f}x:{v:.2f}"
+            for f, v in sorted(recommendation.amortized_by_factor.items())
+        )
+        print(
+            f"amortized MII by unroll factor: {table} -> "
+            f"recommend {recommendation.factor}x",
+            file=out,
+        )
+    return 0
+
+
+def _cmd_schedule(args, out) -> int:
+    from repro.core import ScheduleTrace
+
+    lowered, machine = _compile(args, out)
+    trace = ScheduleTrace() if args.trace else None
+    result = modulo_schedule(
+        lowered.graph,
+        machine,
+        budget_ratio=args.budget_ratio,
+        trace=trace,
+    )
+    if args.json:
+        print(schedule_to_json(result.schedule, machine, indent=2), file=out)
+        return 0
+    mii = result.mii_result
+    print(
+        f"MII={mii.mii} (Res {mii.res_mii} / Rec {mii.rec_mii})  "
+        f"II={result.ii}  SL={result.schedule_length}  "
+        f"stages={result.schedule.stage_count}  "
+        f"attempts={result.attempts}  steps/op={result.inefficiency:.2f}",
+        file=out,
+    )
+    if args.kernel:
+        print(result.schedule.describe(), file=out)
+    if args.trace:
+        print(trace.render(lowered.graph), file=out)
+    if args.gantt:
+        from repro.viz import resource_gantt
+
+        print(resource_gantt(lowered.graph, machine, result.schedule), file=out)
+    if args.diagram:
+        from repro.viz import pipeline_diagram
+
+        print(pipeline_diagram(lowered.graph, result.schedule), file=out)
+    if args.verify:
+        report = check_equivalence(lowered, result.schedule, n=args.verify)
+        print(
+            f"simulation vs sequential oracle ({args.verify} iterations): "
+            f"{'OK' if report.ok else 'MISMATCH'}",
+            file=out,
+        )
+        if not report.ok:
+            print(report.describe(), file=out)
+            return 1
+    return 0
+
+
+def _cmd_corpus(args, out) -> int:
+    from collections import Counter
+
+    from repro.analysis import distribution_row, evaluate_corpus, render_table
+    from repro.workloads import build_corpus
+    from repro.workloads.kernels import KERNELS
+
+    machine = MACHINES[args.machine]()
+    n_synthetic = max(0, args.loops - len(KERNELS))
+    corpus = build_corpus(machine, n_synthetic=n_synthetic, seed=args.seed)
+    evaluations = evaluate_corpus(
+        corpus, machine, budget_ratio=args.budget_ratio
+    )
+    rows = [
+        distribution_row("ops", [e.n_real_ops for e in evaluations], 4),
+        distribution_row("MII", [e.mii for e in evaluations], 1),
+        distribution_row("II - MII", [e.delta_ii for e in evaluations], 0),
+        distribution_row(
+            "steps/op", [e.schedule_ratio for e in evaluations], 1
+        ),
+    ]
+    print(
+        render_table(
+            ["measurement", "min", "freq(min)", "median", "mean", "max"],
+            [r.cells() for r in rows],
+            title=f"{len(evaluations)} loops on {machine.name!r}:",
+        ),
+        file=out,
+    )
+    census = Counter(e.delta_ii for e in evaluations)
+    print(
+        f"II = MII on {census[0] / len(evaluations):.1%} of loops",
+        file=out,
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Iterative modulo scheduling (Rau, MICRO-27 1994)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    machines = commands.add_parser(
+        "machines", help="list available machine descriptions"
+    )
+    machines.set_defaults(handler=_cmd_machines)
+
+    mii = commands.add_parser(
+        "mii", help="compute the minimum initiation interval of a loop"
+    )
+    mii.add_argument("file", help="DSL file ('-' for stdin)")
+    _machine_argument(mii)
+    mii.add_argument(
+        "--recommend-unroll",
+        type=int,
+        default=1,
+        metavar="MAX",
+        help="search unroll factors up to MAX for a better amortized MII",
+    )
+    mii.set_defaults(handler=_cmd_mii)
+
+    schedule = commands.add_parser(
+        "schedule", help="modulo-schedule a loop and report the result"
+    )
+    schedule.add_argument("file", help="DSL file ('-' for stdin)")
+    _machine_argument(schedule)
+    schedule.add_argument(
+        "--budget-ratio", type=float, default=6.0,
+        help="BudgetRatio (paper recommends ~2; default 6 for best quality)",
+    )
+    schedule.add_argument(
+        "--kernel", action="store_true", help="print the kernel layout"
+    )
+    schedule.add_argument(
+        "--verify", type=int, default=0, metavar="N",
+        help="simulate N iterations against the sequential oracle",
+    )
+    schedule.add_argument(
+        "--json", action="store_true", help="emit the schedule as JSON"
+    )
+    schedule.add_argument(
+        "--gantt", action="store_true",
+        help="print the kernel's resource-occupancy grid",
+    )
+    schedule.add_argument(
+        "--diagram", action="store_true",
+        help="print the iterations-vs-time pipeline diagram",
+    )
+    schedule.add_argument(
+        "--trace", action="store_true",
+        help="print the scheduler's decision trace",
+    )
+    schedule.set_defaults(handler=_cmd_schedule)
+
+    corpus = commands.add_parser(
+        "corpus", help="evaluate a corpus and print summary statistics"
+    )
+    _machine_argument(corpus)
+    corpus.add_argument("--loops", type=int, default=200)
+    corpus.add_argument("--seed", type=int, default=0)
+    corpus.add_argument("--budget-ratio", type=float, default=6.0)
+    corpus.set_defaults(handler=_cmd_corpus)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """Entry point; returns the process exit code."""
+    if out is None:
+        out = sys.stdout
+    args = build_parser().parse_args(argv)
+    return args.handler(args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

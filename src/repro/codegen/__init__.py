@@ -1,0 +1,38 @@
+"""Code generation for modulo-scheduled loops (the paper's post-passes).
+
+Once the kernel schedule exists, the paper's surrounding machinery turns it
+into executable loop code:
+
+* :mod:`repro.codegen.lifetimes` — value lifetimes under the schedule
+  (from definition to last use, across iteration distances);
+* :mod:`repro.codegen.mve` — modulo variable expansion [Lam]: when the
+  hardware has no rotating registers, the kernel is unrolled so that no
+  value is overwritten while a previous iteration's instance is live;
+* :mod:`repro.codegen.rotation` — rotating-register allocation: with
+  rotating files the kernel stays II cycles long and each value gets a
+  block of registers addressed relative to the rotating base;
+* :mod:`repro.codegen.emit` — explicit prologue / kernel / epilogue
+  construction and assembly-style rendering.
+"""
+
+from repro.codegen.lifetimes import ValueLifetime, compute_lifetimes
+from repro.codegen.mve import MVEKernel, modulo_variable_expansion
+from repro.codegen.rotation import RotatingAllocation, allocate_rotating
+from repro.codegen.emit import PipelinedCode, emit_pipelined_code
+from repro.codegen.pressure import PressureReport, register_pressure
+from repro.codegen.kernel_only import KernelOnlyCode, emit_kernel_only
+
+__all__ = [
+    "ValueLifetime",
+    "compute_lifetimes",
+    "MVEKernel",
+    "modulo_variable_expansion",
+    "RotatingAllocation",
+    "allocate_rotating",
+    "PipelinedCode",
+    "emit_pipelined_code",
+    "PressureReport",
+    "register_pressure",
+    "KernelOnlyCode",
+    "emit_kernel_only",
+]

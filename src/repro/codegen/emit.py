@@ -1,0 +1,140 @@
+"""Explicit prologue / kernel / epilogue construction (paper reference [36]).
+
+For a machine without predicated execution or rotating registers, the
+pipelined loop is laid out explicitly:
+
+* **prologue** — ``(SC - 1) * II`` cycles filling the pipeline: cycle ``c``
+  issues every operation with ``t(op) <= c`` and ``t(op) ≡ c (mod II)``;
+* **kernel** — the steady state, ``II`` cycles (times the MVE unroll
+  factor when modulo variable expansion is applied), executed while at
+  least SC iterations remain;
+* **epilogue** — ``(SC - 1) * II`` cycles draining the pipeline: each
+  operation of stage ``s >= 1`` appears in rows ``t(op) - j * II`` for
+  iteration lags ``j = 1..s`` (the ``j``-th-from-last iteration still owes
+  its late stages).
+
+``SC`` is the stage count ``ceil(SL / II)``.  The structural invariant the
+tests assert: the prologue contains ``sum over ops of (SC - 1 - stage)``
+instances, the epilogue ``sum over ops of stage``, so that with
+``n - SC + 1`` kernel traversals, ``n`` iterations execute exactly
+``n * |ops|`` operation instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.codegen.lifetimes import compute_lifetimes
+from repro.codegen.mve import MVEKernel, modulo_variable_expansion
+from repro.core.schedule import Schedule
+from repro.ir.graph import DependenceGraph
+
+
+@dataclass
+class PipelinedCode:
+    """The explicit code layout of a modulo-scheduled loop.
+
+    ``prologue`` and ``epilogue`` are lists of rows; each row is the list
+    of ``(op, iteration_lag)`` pairs issued that cycle, where the lag is
+    relative to the first (for the prologue) or last (for the epilogue)
+    iteration.  ``kernel`` is the (possibly MVE-expanded) steady state.
+    """
+
+    ii: int
+    stage_count: int
+    prologue: List[List[Tuple[int, int]]] = field(default_factory=list)
+    kernel: Optional[MVEKernel] = None
+    epilogue: List[List[Tuple[int, int]]] = field(default_factory=list)
+
+    @property
+    def prologue_length(self) -> int:
+        """Prologue length in cycles: (stage_count - 1) * II."""
+        return len(self.prologue)
+
+    @property
+    def epilogue_length(self) -> int:
+        """Epilogue length in cycles: (stage_count - 1) * II."""
+        return len(self.epilogue)
+
+    def instance_count(self) -> Tuple[int, int]:
+        """(prologue instances, epilogue instances)."""
+        return (
+            sum(len(row) for row in self.prologue),
+            sum(len(row) for row in self.epilogue),
+        )
+
+    def code_size_ops(self, n_real_ops: int) -> int:
+        """Total static operation slots: prologue + kernel + epilogue."""
+        prologue, epilogue = self.instance_count()
+        kernel = (
+            sum(len(row) for row in self.kernel.rows)
+            if self.kernel is not None
+            else n_real_ops
+        )
+        return prologue + kernel + epilogue
+
+    def render(self, graph: DependenceGraph) -> str:
+        """Assembly-style listing of prologue, kernel, and epilogue."""
+        lines = [
+            f"pipelined loop: II={self.ii}, stages={self.stage_count}",
+            "prologue:",
+        ]
+        for cycle, row in enumerate(self.prologue):
+            ops = "; ".join(
+                f"op{op}(iter {lag})" for op, lag in row
+            )
+            lines.append(f"  {cycle:>4}: {ops}")
+        if self.kernel is not None:
+            lines.append(self.kernel.render())
+        lines.append("epilogue:")
+        for cycle, row in enumerate(self.epilogue):
+            ops = "; ".join(
+                f"op{op}(last-{lag})" for op, lag in row
+            )
+            lines.append(f"  {cycle:>4}: {ops}")
+        return "\n".join(lines)
+
+
+def emit_pipelined_code(
+    graph: DependenceGraph,
+    schedule: Schedule,
+    use_mve: bool = True,
+) -> PipelinedCode:
+    """Construct the explicit prologue/kernel/epilogue for a schedule."""
+    ii = schedule.ii
+    stage_count = schedule.stage_count
+    ramp = (stage_count - 1) * ii
+
+    prologue: List[List[Tuple[int, int]]] = [[] for _ in range(ramp)]
+    epilogue: List[List[Tuple[int, int]]] = [[] for _ in range(ramp)]
+    for operation in graph.real_operations():
+        op = operation.index
+        t = schedule.times[op]
+        # Prologue: iteration j issues op at cycle t + j*II while the
+        # pipeline is still filling.
+        j = 0
+        while t + j * ii < ramp:
+            prologue[t + j * ii].append((op, j))
+            j += 1
+        # Epilogue: after the kernel's final cycle, iterations lagging by
+        # j = 1..stage(op) still owe this op, at offset t - j*II.
+        for lag in range(1, t // ii + 1):
+            offset = t - lag * ii
+            epilogue[offset].append((op, lag))
+    for row in prologue:
+        row.sort()
+    for row in epilogue:
+        row.sort()
+
+    kernel = None
+    if use_mve:
+        lifetimes = compute_lifetimes(graph, schedule)
+        kernel = modulo_variable_expansion(graph, schedule, lifetimes)
+    return PipelinedCode(
+        ii=ii,
+        stage_count=stage_count,
+        prologue=prologue,
+        kernel=kernel,
+        epilogue=epilogue,
+    )

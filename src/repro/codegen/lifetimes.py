@@ -1,0 +1,98 @@
+"""Value lifetimes under a modulo schedule.
+
+A value defined by operation ``P`` at time ``t(P)`` is last used at
+``max over flow consumers Q of (t(Q) + II * distance(P, Q))`` — a consumer
+``d`` iterations later reads the instance written ``d * II`` cycles
+earlier, so from the producer's point of view its value must survive that
+long.  The lifetime length divided by II is the number of instances of the
+value simultaneously live, which drives both modulo variable expansion and
+rotating-register allocation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.schedule import Schedule
+from repro.ir.edges import DependenceKind
+from repro.ir.graph import DependenceGraph
+
+
+@dataclass(frozen=True)
+class ValueLifetime:
+    """Lifetime of one operation's result value.
+
+    Attributes
+    ----------
+    op:
+        The defining operation.
+    start:
+        Its issue time.
+    end:
+        The latest read time across all consumers (at least
+        ``start + latency``: the value exists once computed).
+    """
+
+    op: int
+    start: int
+    end: int
+
+    @property
+    def length(self) -> int:
+        """Lifetime length in cycles (end minus start)."""
+        return self.end - self.start
+
+    def instances_at(self, ii: int) -> int:
+        """Simultaneously-live instances of this value at interval ``ii``.
+
+        A new instance is produced every II cycles while earlier instances
+        may still be awaiting their last use, so ``floor(length/ii) + 1``
+        instances coexist.
+        """
+        return self.length // ii + 1
+
+
+def compute_lifetimes(
+    graph: DependenceGraph, schedule: Schedule
+) -> Dict[int, ValueLifetime]:
+    """Lifetimes of every value-producing real operation under ``schedule``.
+
+    Operations without a destination (stores, branches) and
+    pseudo-operations produce no value and are omitted.
+    """
+    lifetimes: Dict[int, ValueLifetime] = {}
+    ii = schedule.ii
+    for operation in graph.real_operations():
+        if operation.dest is None:
+            continue
+        op = operation.index
+        start = schedule.times[op]
+        end = start + graph.latency(op)
+        for edge in graph.succ_edges(op):
+            if edge.kind is not DependenceKind.FLOW:
+                continue
+            consumer = graph.operation(edge.succ)
+            if consumer.is_pseudo:
+                continue
+            read_time = schedule.times[edge.succ] + ii * edge.distance
+            if read_time > end:
+                end = read_time
+        lifetimes[op] = ValueLifetime(op, start, end)
+    return lifetimes
+
+
+def mve_unroll_factor(lifetimes: Dict[int, ValueLifetime], ii: int) -> int:
+    """Kernel unroll factor needed by modulo variable expansion.
+
+    The kernel must be unrolled enough that successive definitions of the
+    *same* virtual register land in different copies while earlier
+    instances are live: the maximum of ``ceil(lifetime / II)`` over all
+    values (at least 1).
+    """
+    factor = 1
+    for lifetime in lifetimes.values():
+        needed = max(1, math.ceil(lifetime.length / ii)) if lifetime.length else 1
+        factor = max(factor, needed)
+    return factor

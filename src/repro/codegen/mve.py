@@ -1,0 +1,135 @@
+"""Modulo variable expansion (Lam): kernel unrolling for register reuse.
+
+Without rotating registers, a value whose lifetime exceeds II cycles would
+be overwritten by the next iteration's definition before its last use.
+Modulo variable expansion unrolls the kernel ``u`` times (``u`` = the
+maximum ``ceil(lifetime / II)`` over all values) and renames each value's
+destination per kernel copy; a consumer reading the instance ``d``
+iterations back addresses copy ``(c - d) mod u``.
+
+The expansion works on graphs produced by the loop front end, whose
+operations carry ``attrs['operands']`` descriptors — renaming needs to
+know which producer *instance* each source names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.codegen.lifetimes import ValueLifetime, compute_lifetimes, mve_unroll_factor
+from repro.core.schedule import Schedule
+from repro.ir.graph import DependenceGraph
+
+
+@dataclass(frozen=True)
+class RenamedOp:
+    """One operation instance inside the expanded kernel."""
+
+    op: int
+    copy: int
+    opcode: str
+    dest: Optional[str]
+    srcs: Tuple[str, ...]
+
+    def render(self) -> str:
+        """One-line assembly-style rendering."""
+        text = self.opcode
+        if self.dest is not None:
+            text += f" {self.dest} <-"
+        if self.srcs:
+            text += " " + ", ".join(self.srcs)
+        return text
+
+
+@dataclass
+class MVEKernel:
+    """The unrolled kernel: ``unroll * ii`` rows of renamed operations."""
+
+    ii: int
+    unroll: int
+    rows: List[List[RenamedOp]] = field(default_factory=list)
+
+    @property
+    def length(self) -> int:
+        """Kernel length in cycles after expansion."""
+        return self.ii * self.unroll
+
+    def code_growth(self, n_real_ops: int) -> float:
+        """Static kernel size relative to one copy of the loop body."""
+        total = sum(len(row) for row in self.rows)
+        return total / n_real_ops if n_real_ops else 1.0
+
+    def render(self) -> str:
+        """Row-by-row listing of the expanded kernel."""
+        lines = [f"kernel: II={self.ii}, unroll={self.unroll}"]
+        for row_index, row in enumerate(self.rows):
+            ops = "; ".join(item.render() for item in row)
+            lines.append(f"  {row_index:>4}: {ops}")
+        return "\n".join(lines)
+
+
+def _renamed_dest(graph: DependenceGraph, op: int, copy: int, unroll: int) -> str:
+    dest = graph.operation(op).dest
+    return f"{dest}@{copy % unroll}"
+
+
+def _renamed_srcs(
+    graph: DependenceGraph, op: int, copy: int, unroll: int
+) -> Tuple[str, ...]:
+    operation = graph.operation(op)
+    operands = operation.attrs.get("operands", ())
+    names: List[str] = []
+    for descriptor in operands:
+        if descriptor[0] == "const":
+            names.append(repr(descriptor[1]))
+        elif descriptor[0] == "livein":
+            names.append(descriptor[1])
+        elif descriptor[0] == "op":
+            _, producer, distance = descriptor
+            names.append(
+                _renamed_dest(graph, producer, copy - distance, unroll)
+            )
+        else:
+            names.append("?")
+    return tuple(names)
+
+
+def modulo_variable_expansion(
+    graph: DependenceGraph,
+    schedule: Schedule,
+    lifetimes: Optional[Dict[int, ValueLifetime]] = None,
+) -> MVEKernel:
+    """Expand the kernel for a machine without rotating registers."""
+    if lifetimes is None:
+        lifetimes = compute_lifetimes(graph, schedule)
+    ii = schedule.ii
+    unroll = mve_unroll_factor(lifetimes, ii)
+    rows: List[List[RenamedOp]] = [[] for _ in range(ii * unroll)]
+    for operation in graph.real_operations():
+        op = operation.index
+        slot = schedule.times[op] % ii
+        stage = schedule.times[op] // ii
+        for copy in range(unroll):
+            # In the expanded kernel, the iteration executing in copy c of
+            # slot row r is offset by the op's stage: its values belong to
+            # iteration copy (c - stage) mod unroll.
+            value_copy = (copy - stage) % unroll
+            row = copy * ii + slot
+            dest = (
+                _renamed_dest(graph, op, value_copy, unroll)
+                if operation.dest is not None
+                else None
+            )
+            rows[row].append(
+                RenamedOp(
+                    op=op,
+                    copy=value_copy,
+                    opcode=operation.opcode,
+                    dest=dest,
+                    srcs=_renamed_srcs(graph, op, value_copy, unroll),
+                )
+            )
+    for row in rows:
+        row.sort(key=lambda item: item.op)
+    return MVEKernel(ii=ii, unroll=unroll, rows=rows)

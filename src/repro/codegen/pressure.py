@@ -1,0 +1,77 @@
+"""Register pressure of a modulo schedule (Huff's MaxLive, reference [18]).
+
+In steady state, iteration ``k``'s instance of a value occupies
+``[start + k*II, end + k*II)``; at a kernel slot ``s`` the live count of
+one value is ``floor(length / II)`` plus one inside the remainder window.
+``MaxLive`` — the maximum over slots of the summed live counts — is the
+classic lower bound on the registers any allocator needs, and the quality
+yardstick for the block rotating allocator in
+:mod:`repro.codegen.rotation` (which can only be worse, never better).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.codegen.lifetimes import ValueLifetime, compute_lifetimes
+from repro.core.schedule import Schedule
+from repro.ir.graph import DependenceGraph
+
+
+@dataclass(frozen=True)
+class PressureReport:
+    """Steady-state register pressure of one modulo schedule.
+
+    Attributes
+    ----------
+    per_slot:
+        Live value-instances at each kernel slot (length II).
+    """
+
+    per_slot: tuple
+
+    @property
+    def max_live(self) -> int:
+        """The maximum over kernel slots of simultaneously live values."""
+        return max(self.per_slot) if self.per_slot else 0
+
+    @property
+    def avg_live(self) -> float:
+        """Mean live count across the kernel's slots."""
+        if not self.per_slot:
+            return 0.0
+        return sum(self.per_slot) / len(self.per_slot)
+
+    def describe(self) -> str:
+        """One-line summary: MaxLive, average, and the per-slot counts."""
+        slots = ", ".join(str(v) for v in self.per_slot)
+        return (
+            f"register pressure: MaxLive={self.max_live}, "
+            f"avg={self.avg_live:.1f}, per-slot=[{slots}]"
+        )
+
+
+def register_pressure(
+    graph: DependenceGraph,
+    schedule: Schedule,
+    lifetimes: Optional[Dict[int, ValueLifetime]] = None,
+) -> PressureReport:
+    """Compute steady-state per-slot live counts and MaxLive."""
+    if lifetimes is None:
+        lifetimes = compute_lifetimes(graph, schedule)
+    ii = schedule.ii
+    per_slot = [0] * ii
+    for lifetime in lifetimes.values():
+        length = lifetime.length
+        if length <= 0:
+            continue
+        base = length // ii
+        for slot in range(ii):
+            per_slot[slot] += base
+        # The remainder window [start, start + length mod II), folded.
+        remainder = length % ii
+        start = lifetime.start % ii
+        for offset in range(remainder):
+            per_slot[(start + offset) % ii] += 1
+    return PressureReport(per_slot=tuple(per_slot))

@@ -1,0 +1,134 @@
+"""Rotating-register allocation for the kernel (paper reference [35]).
+
+With a rotating register file, the register addressed as ``r[x]`` refers
+to physical register ``(x + RRB)`` where the rotating register base RRB
+decrements each time the loop-closing branch executes.  A value defined
+every iteration therefore occupies a *block* of consecutive rotating
+registers — one per simultaneously-live instance — and a consumer reading
+the instance from ``d`` iterations ago simply addresses ``r[base + d]``.
+
+This module implements the straightforward block allocator: each value
+gets a contiguous block sized by its lifetime, blocks are packed
+end-to-end, and the total is the rotating file size the loop needs.  (The
+paper's reference [35] describes denser best-fit packing; end-to-end
+packing is within the same constant factor and keeps the invariants easy
+to verify, which the tests do.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.codegen.lifetimes import ValueLifetime, compute_lifetimes
+from repro.core.schedule import Schedule
+from repro.ir.edges import DependenceKind
+from repro.ir.graph import DependenceGraph
+
+
+@dataclass
+class RotatingAllocation:
+    """Result of rotating-register allocation.
+
+    Attributes
+    ----------
+    bases:
+        Starting rotating-register index per value-producing operation.
+    widths:
+        Block width (simultaneously-live instances) per operation.
+    size:
+        Total rotating registers required.
+    """
+
+    bases: Dict[int, int] = field(default_factory=dict)
+    widths: Dict[int, int] = field(default_factory=dict)
+    size: int = 0
+
+    def register_for_def(self, op: int) -> str:
+        """Rotating-register name written by ``op`` each iteration."""
+        return f"r[{self.bases[op]}]"
+
+    def register_for_use(self, op: int, distance: int) -> str:
+        """Name a consumer uses to read ``op``'s value from ``distance`` back."""
+        width = self.widths[op]
+        if distance >= width + 1:
+            raise ValueError(
+                f"operation {op}: read distance {distance} exceeds "
+                f"allocated width {width}"
+            )
+        return f"r[{self.bases[op] + distance}]"
+
+    def describe(self) -> str:
+        """Human-readable block map of the rotating file."""
+        lines = [f"rotating file: {self.size} registers"]
+        for op in sorted(self.bases):
+            lines.append(
+                f"  op{op}: r[{self.bases[op]}..{self.bases[op] + self.widths[op] - 1}]"
+            )
+        return "\n".join(lines)
+
+
+def allocate_rotating(
+    graph: DependenceGraph,
+    schedule: Schedule,
+    lifetimes: Optional[Dict[int, ValueLifetime]] = None,
+) -> RotatingAllocation:
+    """Allocate a rotating-register block for every value in the kernel.
+
+    Block width is ``instances + max read distance headroom``: the
+    instance written this iteration plus every older instance still
+    addressable.  Widths are exact for the block allocator's safety
+    invariant, which :func:`verify_rotating_allocation` (and the tests)
+    check: no two live instances of different values ever share a
+    physical register.
+    """
+    if lifetimes is None:
+        lifetimes = compute_lifetimes(graph, schedule)
+    allocation = RotatingAllocation()
+    next_base = 0
+    for op in sorted(lifetimes):
+        lifetime = lifetimes[op]
+        max_distance = 0
+        for edge in graph.succ_edges(op):
+            if edge.kind is DependenceKind.FLOW and not graph.operation(
+                edge.succ
+            ).is_pseudo:
+                max_distance = max(max_distance, edge.distance)
+        width = max(lifetime.instances_at(schedule.ii), max_distance + 1)
+        allocation.bases[op] = next_base
+        allocation.widths[op] = width
+        next_base += width
+    allocation.size = next_base
+    return allocation
+
+
+def verify_rotating_allocation(
+    graph: DependenceGraph,
+    schedule: Schedule,
+    allocation: RotatingAllocation,
+    iterations: int = 12,
+) -> List[str]:
+    """Simulate the rotating file symbolically and report any clobbers.
+
+    For each iteration ``k`` and value ``v``, the physical register
+    holding instance ``k`` is ``base(v) + (offset - k)`` for a virtual
+    observer; we instead check the allocator's invariant directly: an
+    instance written at iteration ``k`` must not be overwritten (by
+    instance ``k + width``) before its last read at
+    ``schedule.times[last consumer] + II * distance``.
+    """
+    problems: List[str] = []
+    ii = schedule.ii
+    lifetimes = compute_lifetimes(graph, schedule)
+    for op, lifetime in lifetimes.items():
+        width = allocation.widths[op]
+        # Instance k is overwritten when instance k + width is defined, at
+        # time start + (k + width) * ii; its last read is at end + k * ii.
+        # Safety for every k: end + k*ii <= start + (k + width)*ii, i.e.
+        # lifetime length <= width * ii.
+        if lifetime.length > width * ii:
+            problems.append(
+                f"op{op}: lifetime [{lifetime.start}, {lifetime.end}] needs "
+                f"more than width {width} at II={ii}"
+            )
+    return problems

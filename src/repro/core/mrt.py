@@ -1,0 +1,146 @@
+"""Schedule reservation tables, linear and modulo (Sections 2.1 and 3.1).
+
+When an operation is scheduled, its opcode's reservation table is
+translated by the scheduled time and overlaid on the *schedule reservation
+table*; the placement is legal only if no cell is already occupied.
+Unscheduling reverses the overlay.
+
+The modulo variant (the MRT of the literature) folds time into
+``time mod II``: a resource used at time T is recorded at slot T mod II, so
+a conflict at T implies conflicts at every T + k*II, and the table need
+only be II rows long.  The linear variant is the ordinary acyclic table
+used by list scheduling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.machine.resources import ReservationTable
+
+
+class ReservationConflict(RuntimeError):
+    """Raised when a reservation would double-book a resource."""
+
+
+class LinearReservations:
+    """An ordinary (acyclic) schedule reservation table."""
+
+    def __init__(self) -> None:
+        # (resource, folded time) -> occupying operation index
+        self._cells: Dict[Tuple[str, int], int] = {}
+        # operation index -> cells it occupies
+        self._held: Dict[int, List[Tuple[str, int]]] = {}
+
+    def _fold(self, time: int) -> int:
+        return time
+
+    # ------------------------------------------------------------------
+
+    def conflicts(self, table: ReservationTable, time: int) -> bool:
+        """Would placing ``table`` at ``time`` collide with the schedule?
+
+        Includes *self*-conflicts: under modulo folding, two uses of the
+        same resource at offsets differing by a multiple of II land in the
+        same cell, making the table unplaceable at this II no matter what
+        else is scheduled (e.g. a load whose port is busy at issue and at
+        data return cannot be scheduled at II equal to the return offset).
+        """
+        cells = set()
+        for resource, offset in table.uses:
+            cell = (resource, self._fold(time + offset))
+            if cell in self._cells or cell in cells:
+                return True
+            cells.add(cell)
+        return False
+
+    def self_conflicting(self, table: ReservationTable) -> bool:
+        """True when the table folds onto itself at this interval."""
+        cells = set()
+        for resource, offset in table.uses:
+            cell = (resource, self._fold(offset))
+            if cell in cells:
+                return True
+            cells.add(cell)
+        return False
+
+    def conflicting_ops(
+        self, tables: Iterable[ReservationTable], time: int
+    ) -> Set[int]:
+        """Operations occupying any cell any of ``tables`` would use.
+
+        This is the displacement set of Section 3.4: when an operation must
+        be force-scheduled, everything conflicting with *any* of its
+        alternatives is unscheduled.
+        """
+        occupants: Set[int] = set()
+        for table in tables:
+            for resource, offset in table.uses:
+                holder = self._cells.get((resource, self._fold(time + offset)))
+                if holder is not None:
+                    occupants.add(holder)
+        return occupants
+
+    def reserve(self, op: int, table: ReservationTable, time: int) -> None:
+        """Overlay ``table`` at ``time`` on behalf of operation ``op``."""
+        if op in self._held:
+            raise ReservationConflict(f"operation {op} already holds cells")
+        cells = []
+        for resource, offset in table.uses:
+            cell = (resource, self._fold(time + offset))
+            holder = self._cells.get(cell)
+            if holder is not None:
+                raise ReservationConflict(
+                    f"operation {op} at time {time}: {resource!r} slot "
+                    f"{cell[1]} already held by operation {holder}"
+                )
+            if cell in cells:
+                raise ReservationConflict(
+                    f"operation {op} at time {time}: table "
+                    f"{table.name!r} self-conflicts on {resource!r} slot "
+                    f"{cell[1]} at this interval"
+                )
+            cells.append(cell)
+        for cell in cells:
+            self._cells[cell] = op
+        self._held[op] = cells
+
+    def release(self, op: int) -> None:
+        """Remove all reservations held by operation ``op`` (idempotent)."""
+        for cell in self._held.pop(op, ()):
+            del self._cells[cell]
+
+    def holds(self, op: int) -> bool:
+        """Whether operation ``op`` currently holds any cells."""
+        return op in self._held
+
+    def occupancy(self) -> Dict[Tuple[str, int], int]:
+        """Copy of the cell map, for validation and rendering."""
+        return dict(self._cells)
+
+
+class ModuloReservations(LinearReservations):
+    """The modulo reservation table: cells are folded by ``time mod II``."""
+
+    def __init__(self, ii: int) -> None:
+        if ii < 1:
+            raise ValueError(f"II must be >= 1, got {ii}")
+        super().__init__()
+        self.ii = ii
+
+    def _fold(self, time: int) -> int:
+        return time % self.ii
+
+    def render(self, resources: Iterable[str]) -> str:
+        """ASCII kernel view: one row per modulo slot, one column per resource."""
+        resources = list(resources)
+        width = max([len(r) for r in resources] + [6])
+        header = "slot  " + "  ".join(r.ljust(width) for r in resources)
+        lines = [header, "-" * len(header)]
+        for slot in range(self.ii):
+            cells = []
+            for resource in resources:
+                holder = self._cells.get((resource, slot))
+                cells.append(("" if holder is None else f"op{holder}").ljust(width))
+            lines.append(f"{slot:>4}  " + "  ".join(cells))
+        return "\n".join(lines)

@@ -1,0 +1,135 @@
+"""Pre-scheduling unrolling for fractional MII (Section 1's unroll step).
+
+The MII is an integer, but the quantity it rounds up from need not be:
+a recurrence circuit with delay 7 at distance 2 only demands 3.5 cycles
+per iteration, yet II must be at least 4 — a 14% throughput loss.  The
+paper's remedy: "if the percentage degradation in rounding it up ... is
+unacceptably high, the body of the loop may be unrolled prior to
+scheduling".  Unrolling by 2 turns the same circuit into delay 14 at
+distance 1, and II = 14 for the double body is exactly 7 cycles per
+original iteration.
+
+:func:`unroll_for_modulo` replicates the body while *preserving* the
+cross-iteration dependence structure (unlike the
+unroll-before-scheduling baseline, which drops edges at the back-edge
+barrier): an edge at distance ``d`` from copy ``c`` lands in copy
+``(c + d) mod u`` at distance ``(c + d) div u``.
+:func:`recommend_unroll` then searches small factors for the best
+amortized MII.
+
+This is a scheduling-level transformation: the unrolled graph schedules
+and validates normally, but it does not carry the front end's simulator
+metadata (the paper applies the same caveat — unrolling happens before
+modulo scheduling proper, and code generation handles the result).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.mii import compute_mii
+from repro.ir.graph import DependenceGraph, GraphError
+
+
+def unroll_for_modulo(graph: DependenceGraph, factor: int) -> DependenceGraph:
+    """Replicate the body ``factor`` times, folding dependence distances.
+
+    The result is semantically the same loop stepping ``factor`` original
+    iterations per new iteration: every circuit's delay-to-distance ratio
+    is preserved, so ``MII(unrolled) / factor`` can approach the
+    fractional bound that the un-unrolled integral MII rounds up.
+    """
+    if not graph.sealed:
+        raise GraphError(f"graph {graph.name!r} must be sealed")
+    if factor < 1:
+        raise ValueError(f"unroll factor must be >= 1, got {factor}")
+    unrolled = DependenceGraph(
+        graph._latencies,
+        name=f"{graph.name}#modulo-unroll{factor}",
+        delay_model=graph.delay_model,
+    )
+    index_map: Dict[tuple, int] = {}
+    for copy in range(factor):
+        for op in graph.real_operations():
+            index_map[(op.index, copy)] = unrolled.add_operation(
+                op.opcode,
+                dest=f"{op.dest}.{copy}" if op.dest else None,
+                srcs=tuple(f"{s}.{copy}" for s in op.srcs),
+                predicate=f"{op.predicate}.{copy}" if op.predicate else None,
+            )
+    for edge in graph.edges:
+        pred_op = graph.operation(edge.pred)
+        succ_op = graph.operation(edge.succ)
+        if pred_op.is_pseudo or succ_op.is_pseudo:
+            continue
+        for copy in range(factor):
+            target = copy + edge.distance
+            unrolled.add_edge(
+                index_map[(edge.pred, copy)],
+                index_map[(edge.succ, target % factor)],
+                edge.kind,
+                distance=target // factor,
+                delay=edge.delay,
+            )
+    return unrolled.seal()
+
+
+@dataclass
+class UnrollRecommendation:
+    """Outcome of the pre-unroll search.
+
+    Attributes
+    ----------
+    factor:
+        The recommended unroll factor (1 = do not unroll).
+    amortized_mii:
+        ``MII(unrolled by factor) / factor`` — cycles per *original*
+        iteration at the recommendation.
+    amortized_by_factor:
+        The full search record, factor -> amortized MII.
+    """
+
+    factor: int
+    amortized_mii: float
+    amortized_by_factor: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def degradation_without_unrolling(self) -> float:
+        """Fractional throughput lost by scheduling the body as-is."""
+        base = self.amortized_by_factor[1]
+        best = min(self.amortized_by_factor.values())
+        return (base - best) / best if best else 0.0
+
+
+def recommend_unroll(
+    graph: DependenceGraph,
+    machine,
+    max_factor: int = 4,
+    tolerance: float = 0.02,
+) -> UnrollRecommendation:
+    """Search unroll factors 1..max for the best amortized MII.
+
+    Returns the *smallest* factor whose amortized MII is within
+    ``tolerance`` of the best found — unrolling costs code size, so ties
+    go to less replication.
+    """
+    if max_factor < 1:
+        raise ValueError(f"max_factor must be >= 1, got {max_factor}")
+    amortized: Dict[int, float] = {}
+    for factor in range(1, max_factor + 1):
+        candidate = (
+            graph if factor == 1 else unroll_for_modulo(graph, factor)
+        )
+        amortized[factor] = (
+            compute_mii(candidate, machine, exact=True).mii / factor
+        )
+    best = min(amortized.values())
+    for factor in sorted(amortized):
+        if amortized[factor] <= best * (1.0 + tolerance):
+            return UnrollRecommendation(
+                factor=factor,
+                amortized_mii=amortized[factor],
+                amortized_by_factor=amortized,
+            )
+    raise AssertionError("unreachable: the best factor satisfies its own bound")

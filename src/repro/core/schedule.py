@@ -1,0 +1,99 @@
+"""Schedule objects: the output of the modulo (and list) schedulers."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.graph import DependenceGraph
+from repro.machine.resources import ReservationTable
+
+
+@dataclass
+class Schedule:
+    """A complete schedule for one iteration of a loop body.
+
+    For a modulo schedule, repeating these issue times every ``ii`` cycles
+    yields the software pipeline; ``ii`` of an acyclic list schedule is
+    conventionally the schedule length (no overlap).
+
+    Attributes
+    ----------
+    graph:
+        The scheduled dependence graph.
+    ii:
+        The initiation interval.
+    times:
+        Issue time per operation index (START and STOP included).
+    alternatives:
+        The reservation-table alternative chosen per operation (``None``
+        for pseudo-operations).
+    """
+
+    graph: DependenceGraph
+    ii: int
+    times: Dict[int, int]
+    alternatives: Dict[int, Optional[ReservationTable]] = field(
+        default_factory=dict
+    )
+
+    def time(self, op: int) -> int:
+        """Issue time of operation ``op`` within its iteration."""
+        return self.times[op]
+
+    @property
+    def schedule_length(self) -> int:
+        """SL: the scheduled time of STOP (START is at 0)."""
+        return self.times[self.graph.stop]
+
+    @property
+    def stage_count(self) -> int:
+        """Number of pipeline stages: the iterations in flight at once."""
+        if self.schedule_length == 0:
+            return 1
+        return max(1, math.ceil(self.schedule_length / self.ii))
+
+    def stage(self, op: int) -> int:
+        """Which stage (times // II) the operation issues in."""
+        return self.times[op] // self.ii
+
+    def slot(self, op: int) -> int:
+        """The operation's row in the kernel (times mod II)."""
+        return self.times[op] % self.ii
+
+    def ops_at(self, time: int) -> List[int]:
+        """Real operations issued at an absolute time within the iteration."""
+        return sorted(
+            op
+            for op, t in self.times.items()
+            if t == time and not self.graph.operation(op).is_pseudo
+        )
+
+    def kernel_rows(self) -> List[List[Tuple[int, int]]]:
+        """Kernel layout: for each modulo slot, the (op, stage) pairs."""
+        rows: List[List[Tuple[int, int]]] = [[] for _ in range(self.ii)]
+        for op, t in self.times.items():
+            if self.graph.operation(op).is_pseudo:
+                continue
+            rows[t % self.ii].append((op, t // self.ii))
+        for row in rows:
+            row.sort()
+        return rows
+
+    def describe(self) -> str:
+        """Human-readable rendering: issue times, then the kernel layout."""
+        lines = [
+            f"Schedule for {self.graph.name!r}: II={self.ii}, "
+            f"SL={self.schedule_length}, stages={self.stage_count}"
+        ]
+        for op in sorted(self.times):
+            operation = self.graph.operation(op)
+            alt = self.alternatives.get(op)
+            where = f" on {alt.name}" if alt is not None else ""
+            lines.append(f"  t={self.times[op]:>4}  {operation.describe()}{where}")
+        lines.append("  kernel (slot: op@stage):")
+        for slot, row in enumerate(self.kernel_rows()):
+            cells = ", ".join(f"op{op}@{stage}" for op, stage in row)
+            lines.append(f"    {slot:>3}: {cells}")
+        return "\n".join(lines)

@@ -1,0 +1,479 @@
+"""Iterative modulo scheduling (Section 3, Figures 2-4).
+
+:func:`modulo_schedule` is the paper's procedure ``ModuloSchedule``: it
+computes the MII, then calls the inner scheduler (:class:`IterativeScheduler`,
+the paper's ``IterativeSchedule``) for successively larger candidate IIs
+until one succeeds within the operation-scheduling budget
+``BudgetRatio * NumberOfOperations``.
+
+The inner scheduler differs from acyclic list scheduling exactly as the
+paper describes:
+
+* it is an *operation* scheduler — the highest-priority unscheduled
+  operation is picked even if predecessors are currently unscheduled, and
+  the same operation may be picked repeatedly after being displaced;
+* priorities are HeightR (Figure 5a);
+* Estart considers only *currently scheduled* predecessors (Figure 5b);
+* only II contiguous candidate time slots are tried, on a modulo
+  reservation table;
+* when no conflict-free slot exists, a slot is forced with the
+  forward-progress rule of Figure 4, and every operation conflicting with
+  any of the opcode's alternatives is displaced (Section 3.4), along with
+  any dependence-violated successors.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.heights import height_r
+from repro.core.mii import MIIResult, compute_mii
+from repro.core.mrt import ModuloReservations
+from repro.core.schedule import Schedule
+from repro.core.stats import Counters
+from repro.ir.graph import DependenceGraph, GraphError
+from repro.machine.resources import ReservationTable
+
+
+class SchedulingFailure(RuntimeError):
+    """No modulo schedule was found up to the II cap."""
+
+
+@dataclass
+class _AttemptResult:
+    """Outcome of one IterativeSchedule invocation at a fixed II."""
+
+    success: bool
+    times: Dict[int, int]
+    alternatives: Dict[int, Optional[ReservationTable]]
+    steps: int
+
+
+@dataclass
+class ModuloScheduleResult:
+    """Outcome of the full ModuloSchedule procedure.
+
+    Attributes
+    ----------
+    schedule:
+        The legal modulo schedule that was found.
+    mii_result:
+        The MII computation the search started from.
+    budget_ratio:
+        The BudgetRatio used.
+    attempts:
+        Number of candidate II values tried (the successful one included).
+    steps_total:
+        Operation scheduling steps across *all* attempts — the quantity the
+        paper's aggregate scheduling inefficiency (Figure 6) is built from.
+    steps_last:
+        Steps in the successful attempt only (Table 3's "number of nodes
+        scheduled" uses this).
+    counters:
+        Instrumentation accumulated over the whole run.
+    """
+
+    schedule: Schedule
+    mii_result: MIIResult
+    budget_ratio: float
+    attempts: int
+    steps_total: int
+    steps_last: int
+    counters: Counters
+
+    @property
+    def ii(self) -> int:
+        """The achieved initiation interval."""
+        return self.schedule.ii
+
+    @property
+    def delta_ii(self) -> int:
+        """Achieved II minus the MII lower bound (0 means optimal-vs-bound)."""
+        return self.schedule.ii - self.mii_result.mii
+
+    @property
+    def ii_ratio(self) -> float:
+        """Achieved II over the MII lower bound (1.0 = optimal-vs-bound)."""
+        return self.schedule.ii / self.mii_result.mii
+
+    @property
+    def schedule_length(self) -> int:
+        """SL of the found schedule (one iteration, issue to completion)."""
+        return self.schedule.schedule_length
+
+    @property
+    def inefficiency(self) -> float:
+        """Nodes scheduled per node, within the successful attempt."""
+        return self.steps_last / self.schedule.graph.n_ops
+
+
+def _priority_heightr(graph: DependenceGraph, ii: int, counters) -> List[int]:
+    """The paper's HeightR priority (Figure 5a) — the default."""
+    return height_r(graph, ii, counters)
+
+
+def _priority_input_order(graph: DependenceGraph, ii: int, counters) -> List[int]:
+    """Ablation: schedule in (reverse) input order, ignoring structure."""
+    return [graph.n_ops - op for op in range(graph.n_ops)]
+
+
+def _priority_fanout(graph: DependenceGraph, ii: int, counters) -> List[int]:
+    """Ablation: prioritize by immediate successor count only."""
+    return [len(graph.succ_edges(op)) for op in range(graph.n_ops)]
+
+
+#: Priority schemes selectable by name; ``"heightr"`` is the paper's.
+PRIORITY_SCHEMES = {
+    "heightr": _priority_heightr,
+    "input_order": _priority_input_order,
+    "fanout": _priority_fanout,
+}
+
+
+class IterativeScheduler:
+    """One invocation of ``IterativeSchedule`` (Figure 3) at a fixed II."""
+
+    #: Whether a failed FindTimeSlot may force a slot and displace
+    #: conflicting operations.  The greedy (non-iterative) subclass turns
+    #: this off to quantify what iteration itself buys.
+    allow_displacement = True
+
+    def __init__(
+        self,
+        graph: DependenceGraph,
+        machine,
+        ii: int,
+        counters: Optional[Counters] = None,
+        priority: str = "heightr",
+        trace=None,
+    ) -> None:
+        if not graph.sealed:
+            raise GraphError(f"graph {graph.name!r} must be sealed")
+        self.graph = graph
+        self.machine = machine
+        self.ii = ii
+        self.counters = counters if counters is not None else Counters()
+        self.trace = trace
+        try:
+            scheme = PRIORITY_SCHEMES[priority]
+        except KeyError:
+            raise ValueError(
+                f"unknown priority scheme {priority!r}; "
+                f"choose from {sorted(PRIORITY_SCHEMES)}"
+            ) from None
+        self.heights = scheme(graph, ii, self.counters)
+
+    # ------------------------------------------------------------------
+
+    def _prepare(self) -> Optional[_AttemptResult]:
+        """Per-attempt setup shared by both scheduling styles.
+
+        Complex reservation tables can fold onto themselves at specific
+        IIs (same resource at offsets differing by a multiple of II);
+        such alternatives are unplaceable at this II.  If any operation
+        loses every alternative, the II is infeasible outright and a
+        failed attempt is returned; otherwise None.
+        """
+        graph = self.graph
+        self._mrt = ModuloReservations(self.ii)
+        self._feasible_alts: Dict[str, tuple] = {}
+        for operation in graph.real_operations():
+            if operation.opcode in self._feasible_alts:
+                continue
+            usable = tuple(
+                alt
+                for alt in self.machine.opcode(operation.opcode).alternatives
+                if not self._mrt.self_conflicting(alt)
+            )
+            if not usable:
+                return _AttemptResult(False, {}, {}, 0)
+            self._feasible_alts[operation.opcode] = usable
+        self._times: Dict[int, int] = {}
+        self._alts: Dict[int, Optional[ReservationTable]] = {}
+        self._prev_time: Dict[int, int] = {}
+        self._never_scheduled: Set[int] = set(range(graph.n_ops))
+        self._unscheduled: Set[int] = set(range(1, graph.n_ops))
+        self._heap: List[Tuple[int, int]] = [
+            (-self.heights[op], op) for op in self._unscheduled
+        ]
+        heapq.heapify(self._heap)
+        return None
+
+    def run(self, budget: int) -> _AttemptResult:
+        """Attempt to schedule every operation within ``budget`` steps."""
+        graph = self.graph
+        dead = self._prepare()
+        if dead is not None:
+            return dead
+        steps = 0
+
+        # START is pinned at time 0 (Figure 3) and consumes no resources.
+        self._place(graph.START, 0, None)
+        steps += 1
+
+        while self._unscheduled and steps < budget:
+            op = self._pop_highest_priority()
+            estart = self._calculate_early_start(op)
+            if self.trace is not None:
+                self.trace.pick(op, estart)
+            min_time = estart
+            max_time = min_time + self.ii - 1
+            slot, alternative = self._find_time_slot(op, min_time, max_time)
+            if (
+                alternative is None
+                and not self.graph.operation(op).is_pseudo
+                and not self.allow_displacement
+            ):
+                # Greedy mode: no conflict-free slot means this II is
+                # abandoned on the spot — no unscheduling, no retries.
+                break
+            self._schedule(op, slot, alternative)
+            steps += 1
+
+        return _AttemptResult(
+            success=not self._unscheduled,
+            times=dict(self._times),
+            alternatives=dict(self._alts),
+            steps=steps,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _pop_highest_priority(self) -> int:
+        """HighestPriorityOperation: lazy-deletion max-heap on HeightR."""
+        while self._heap:
+            _, op = heapq.heappop(self._heap)
+            if op in self._unscheduled:
+                return op
+        raise AssertionError("heap empty while operations remain unscheduled")
+
+    def _calculate_early_start(self, op: int) -> int:
+        """Estart per Figure 5b: only scheduled predecessors constrain."""
+        estart = 0
+        for edge in self.graph.pred_edges(op):
+            self.counters.estart_preds += 1
+            if edge.pred == op:
+                continue
+            pred_time = self._times.get(edge.pred)
+            if pred_time is None:
+                continue
+            candidate = pred_time + edge.delay - self.ii * edge.distance
+            if candidate > estart:
+                estart = candidate
+        return estart
+
+    def _find_time_slot(
+        self, op: int, min_time: int, max_time: int
+    ) -> Tuple[int, Optional[ReservationTable]]:
+        """FindTimeSlot per Figure 4, extended over the opcode alternatives.
+
+        Returns ``(slot, alternative)``; ``alternative`` is ``None`` when
+        the slot was forced (the caller then displaces conflicting
+        operations) or when the operation is a pseudo-operation.
+        """
+        operation = self.graph.operation(op)
+        if operation.is_pseudo:
+            self.counters.findtimeslot_iters += 1
+            return min_time, None
+        alternatives = self._feasible_alts[operation.opcode]
+        for time in range(min_time, max_time + 1):
+            self.counters.findtimeslot_iters += 1
+            for alternative in alternatives:
+                if not self._mrt.conflicts(alternative, time):
+                    return time, alternative
+        # No conflict-free slot: pick one that guarantees forward progress.
+        if op in self._never_scheduled or min_time > self._prev_time[op]:
+            return min_time, None
+        return self._prev_time[op] + 1, None
+
+    def _schedule(
+        self, op: int, slot: int, alternative: Optional[ReservationTable]
+    ) -> None:
+        """Schedule per Figure 3's note: displace whatever conflicts."""
+        operation = self.graph.operation(op)
+        forced = False
+        if not operation.is_pseudo:
+            alternatives = self._feasible_alts[operation.opcode]
+            if alternative is None:
+                # Forced placement (Section 3.4): displace every operation
+                # conflicting with *any* alternative, then take the first.
+                forced = True
+                for victim in sorted(
+                    self._mrt.conflicting_ops(alternatives, slot)
+                ):
+                    self._unschedule(victim, culprit=op)
+                alternative = alternatives[0]
+        if self.trace is not None:
+            if forced:
+                self.trace.force(op, slot)
+            else:
+                self.trace.place(
+                    op, slot, alternative.name if alternative else "pseudo"
+                )
+        self._place(op, slot, alternative)
+        # Displace dependence-violated successors; predecessors were
+        # honoured through Estart.
+        for edge in self.graph.succ_edges(op):
+            if edge.succ == op:
+                continue
+            succ_time = self._times.get(edge.succ)
+            if succ_time is None:
+                continue
+            if succ_time < slot + edge.delay - self.ii * edge.distance:
+                self._unschedule(edge.succ, culprit=op)
+
+    def _place(
+        self, op: int, slot: int, alternative: Optional[ReservationTable]
+    ) -> None:
+        if alternative is not None:
+            self._mrt.reserve(op, alternative, slot)
+        self._times[op] = slot
+        self._alts[op] = alternative
+        self._prev_time[op] = slot
+        self._unscheduled.discard(op)
+        self._never_scheduled.discard(op)
+        self.counters.ops_scheduled += 1
+
+    def _unschedule(self, op: int, culprit: int = -1) -> None:
+        if op == self.graph.START:
+            raise AssertionError("START must never be displaced")
+        if self.trace is not None:
+            self.trace.displace(op, self._times[op], culprit)
+        self._mrt.release(op)
+        del self._times[op]
+        del self._alts[op]
+        self._unscheduled.add(op)
+        heapq.heappush(self._heap, (-self.heights[op], op))
+        self.counters.ops_unscheduled += 1
+
+
+class GreedyScheduler(IterativeScheduler):
+    """Non-iterative ablation: list scheduling onto the MRT.
+
+    Identical to :class:`IterativeScheduler` except that nothing is ever
+    displaced: if the highest-priority operation finds no conflict-free
+    slot in its II-wide window, the candidate II is abandoned
+    immediately.  This is modulo scheduling *without* the paper's
+    contribution, and the ablation benchmark measures how much II (and
+    how many wasted attempts) that costs on complex reservation tables.
+    """
+
+    allow_displacement = False
+
+
+def default_max_ii(graph: DependenceGraph, mii: int) -> int:
+    """A generous cap on the II search.
+
+    Once II exceeds the total resource occupancy of one iteration, every
+    II-wide window contains a conflict-free slot, so failures beyond a cap
+    proportional to the sequential schedule length indicate a bug rather
+    than a hard loop; we cap at twice that plus slack.
+    """
+    sequential = sum(
+        max(1, graph.latency(op.index)) for op in graph.real_operations()
+    )
+    return 2 * max(mii, sequential) + 32
+
+
+def modulo_schedule(
+    graph: DependenceGraph,
+    machine,
+    budget_ratio: float = 2.0,
+    counters: Optional[Counters] = None,
+    mii_result: Optional[MIIResult] = None,
+    max_ii: Optional[int] = None,
+    exact_mii: bool = True,
+    priority: str = "heightr",
+    style: str = "operation",
+    trace=None,
+) -> ModuloScheduleResult:
+    """ModuloSchedule (Figure 2): find a legal modulo schedule.
+
+    Parameters
+    ----------
+    graph:
+        A sealed dependence graph.
+    machine:
+        The machine description providing reservation-table alternatives.
+    budget_ratio:
+        The paper's BudgetRatio: the budget for each candidate II is
+        ``budget_ratio * NumberOfOperations``.  The paper finds ~2 to be
+        the sweet spot (Figure 6); 6 reproduces the quality-oriented
+        setting of the Table 3 experiments.
+    counters:
+        Optional instrumentation accumulator.
+    mii_result:
+        A precomputed MII (to avoid recomputation in sweeps).
+    max_ii:
+        Cap on the II search; :class:`SchedulingFailure` is raised beyond it.
+    exact_mii:
+        Forwarded to :func:`repro.core.mii.compute_mii` when ``mii_result``
+        is not supplied.
+    priority:
+        Name of the scheduling priority scheme (see ``PRIORITY_SCHEMES``);
+        ``"heightr"`` is the paper's, the others exist for ablations.
+    style:
+        ``"operation"`` (the paper's operation scheduler),
+        ``"instruction"`` (the footnoted time-cursor style, implemented in
+        :mod:`repro.core.instruction_scheduler`), or ``"greedy"``
+        (non-iterative: no displacement, for the ablation study).
+    trace:
+        Optional :class:`repro.core.trace.ScheduleTrace` receiving every
+        pick / place / force / displace decision.
+
+    Raises
+    ------
+    SchedulingFailure
+        If no schedule is found for any II up to ``max_ii``.
+    """
+    if budget_ratio < 1.0:
+        raise ValueError("budget_ratio below 1 cannot schedule every operation")
+    if style == "operation":
+        scheduler_class = IterativeScheduler
+    elif style == "greedy":
+        scheduler_class = GreedyScheduler
+    elif style == "instruction":
+        from repro.core.instruction_scheduler import InstructionDrivenScheduler
+
+        scheduler_class = InstructionDrivenScheduler
+    else:
+        raise ValueError(
+            f"unknown scheduling style {style!r}; "
+            "choose 'operation' or 'instruction'"
+        )
+    counters = counters if counters is not None else Counters()
+    if mii_result is None:
+        mii_result = compute_mii(graph, machine, counters, exact=exact_mii)
+    if max_ii is None:
+        max_ii = default_max_ii(graph, mii_result.mii)
+    budget = int(budget_ratio * graph.n_ops)
+    attempts = 0
+    steps_total = 0
+    ii = mii_result.mii
+    while ii <= max_ii:
+        attempts += 1
+        counters.ii_attempts += 1
+        if trace is not None:
+            trace.attempt(ii)
+        attempt = scheduler_class(
+            graph, machine, ii, counters, priority=priority, trace=trace
+        ).run(budget)
+        steps_total += attempt.steps
+        if attempt.success:
+            schedule = Schedule(graph, ii, attempt.times, attempt.alternatives)
+            return ModuloScheduleResult(
+                schedule=schedule,
+                mii_result=mii_result,
+                budget_ratio=budget_ratio,
+                attempts=attempts,
+                steps_total=steps_total,
+                steps_last=attempt.steps,
+                counters=counters,
+            )
+        ii += 1
+    raise SchedulingFailure(
+        f"no modulo schedule for {graph.name!r} with II in "
+        f"[{mii_result.mii}, {max_ii}] at budget_ratio={budget_ratio}"
+    )

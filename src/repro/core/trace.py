@@ -1,0 +1,130 @@
+"""Scheduling decision traces: watch the iterative algorithm work.
+
+A :class:`ScheduleTrace` records every decision the inner scheduler makes
+— picks, placements, forced placements, displacements — which is how one
+*sees* the iterative behavior the paper describes (Sections 3.3-3.4):
+operations bouncing out of the schedule when a higher-priority operation
+needs their resources, and the forward-progress rule preventing two
+operations from displacing each other forever.
+
+Usage::
+
+    trace = ScheduleTrace()
+    result = modulo_schedule(graph, machine, trace=trace)
+    print(trace.render(graph))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One scheduler decision.
+
+    ``kind`` is one of:
+
+    * ``"attempt"`` — a new IterativeSchedule invocation (``time`` = II);
+    * ``"pick"`` — operation chosen by priority (``time`` = Estart);
+    * ``"place"`` — scheduled normally (``detail`` = alternative name);
+    * ``"force"`` — scheduled via the forward-progress rule;
+    * ``"displace"`` — unscheduled (``detail`` = the culprit operation).
+    """
+
+    kind: str
+    op: int
+    time: int
+    detail: str = ""
+
+    def render(self) -> str:
+        """One-line rendering of the event."""
+        text = f"{self.kind:>9} op{self.op:<4} t={self.time}"
+        if self.detail:
+            text += f"  [{self.detail}]"
+        return text
+
+
+@dataclass
+class ScheduleTrace:
+    """An append-only log of scheduler decisions."""
+
+    events: List[TraceEvent] = field(default_factory=list)
+
+    # -- recording hooks (called by the scheduler) -----------------------
+
+    def attempt(self, ii: int) -> None:
+        """Record the start of an IterativeSchedule attempt at ``ii``."""
+        self.events.append(TraceEvent("attempt", -1, ii))
+
+    def pick(self, op: int, estart: int) -> None:
+        """Record the priority pop of ``op`` with its computed Estart."""
+        self.events.append(TraceEvent("pick", op, estart))
+
+    def place(self, op: int, time: int, alternative: str) -> None:
+        """Record a normal (conflict-free) placement."""
+        self.events.append(TraceEvent("place", op, time, alternative))
+
+    def force(self, op: int, time: int) -> None:
+        """Record a forced placement (Figure 4 fallback)."""
+        self.events.append(TraceEvent("force", op, time))
+
+    def displace(self, op: int, time: int, culprit: int) -> None:
+        """Record that ``op`` was unscheduled to make room for ``culprit``."""
+        self.events.append(TraceEvent("displace", op, time, f"by op{culprit}"))
+
+    # -- queries ----------------------------------------------------------
+
+    def placements(self, op: Optional[int] = None) -> List[TraceEvent]:
+        """All place/force events (optionally for one operation)."""
+        return [
+            e
+            for e in self.events
+            if e.kind in ("place", "force") and (op is None or e.op == op)
+        ]
+
+    def displacements(self) -> List[TraceEvent]:
+        """All displacement events."""
+        return [e for e in self.events if e.kind == "displace"]
+
+    def forced(self) -> List[TraceEvent]:
+        """All forced placements."""
+        return [e for e in self.events if e.kind == "force"]
+
+    def attempts(self) -> List[int]:
+        """The sequence of candidate IIs tried."""
+        return [e.time for e in self.events if e.kind == "attempt"]
+
+    def forward_progress_holds(self) -> bool:
+        """No operation is ever re-placed at the time it last occupied.
+
+        This is the invariant Figure 4's forced-slot rule guarantees; the
+        property tests check it on every traced run.
+        """
+        last_time = {}
+        current_attempt_key = 0
+        for event in self.events:
+            if event.kind == "attempt":
+                current_attempt_key += 1
+                last_time = {}
+            elif event.kind == "force":
+                key = (current_attempt_key, event.op)
+                if last_time.get(key) == event.time:
+                    return False
+                last_time[key] = event.time
+            elif event.kind == "place":
+                last_time[(current_attempt_key, event.op)] = event.time
+        return True
+
+    def render(self, graph=None, limit: int = 200) -> str:
+        """Multi-line log of the first ``limit`` events (with opcodes)."""
+        lines = []
+        for event in self.events[:limit]:
+            line = event.render()
+            if graph is not None and event.op >= 0:
+                line += f"  {graph.operation(event.op).opcode}"
+            lines.append(line)
+        if len(self.events) > limit:
+            lines.append(f"... {len(self.events) - limit} more events")
+        return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""Dependence-graph intermediate representation for modulo scheduling.
+
+This package provides the scheduler-facing IR described in Sections 2.2 and
+3.1 of the paper: operations (vertices), dependence edges annotated with a
+*distance* (iterations separating producer and consumer) and a *delay*
+(minimum start-to-start interval), and the START/STOP pseudo-operations that
+bracket every loop body.
+"""
+
+from repro.ir.edges import (
+    DependenceKind,
+    DelayModel,
+    DependenceEdge,
+    edge_delay,
+)
+from repro.ir.operation import Operation, START_OPCODE, STOP_OPCODE
+from repro.ir.graph import DependenceGraph, GraphError
+from repro.ir.serialize import (
+    graph_from_dict,
+    graph_from_json,
+    graph_to_dict,
+    graph_to_json,
+    schedule_from_dict,
+    schedule_from_json,
+    schedule_to_dict,
+    schedule_to_json,
+)
+
+__all__ = [
+    "graph_from_dict",
+    "graph_from_json",
+    "graph_to_dict",
+    "graph_to_json",
+    "schedule_from_dict",
+    "schedule_from_json",
+    "schedule_to_dict",
+    "schedule_to_json",
+    "DependenceKind",
+    "DelayModel",
+    "DependenceEdge",
+    "edge_delay",
+    "Operation",
+    "START_OPCODE",
+    "STOP_OPCODE",
+    "DependenceGraph",
+    "GraphError",
+]

@@ -1,0 +1,241 @@
+"""The dependence graph consumed by the modulo scheduler.
+
+A :class:`DependenceGraph` holds the operations of one loop body together
+with their dependence edges.  Operation 0 is always the START
+pseudo-operation; sealing the graph appends the STOP pseudo-operation and
+makes START a predecessor, and STOP a successor, of every real operation
+(Section 3.1 of the paper).  After sealing, the graph is immutable.
+
+Edge delays follow Table 1 and are derived from operation latencies, which
+the graph obtains from a *latency provider* — any object with a
+``latency(opcode) -> int`` method (in practice a
+:class:`repro.machine.MachineDescription`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.ir.edges import DelayModel, DependenceEdge, DependenceKind, edge_delay
+from repro.ir.operation import Operation, START_OPCODE, STOP_OPCODE
+
+
+class GraphError(ValueError):
+    """Raised for structurally invalid graph construction or use."""
+
+
+class DependenceGraph:
+    """Operations plus dependence edges for one loop body.
+
+    Parameters
+    ----------
+    latencies:
+        A latency provider with a ``latency(opcode) -> int`` method.  It is
+        consulted when an edge is added without an explicit delay and when
+        the START/STOP bracketing edges are created at seal time.
+    name:
+        Optional label used in reports and error messages.
+    delay_model:
+        Which column of Table 1 to apply when deriving delays.
+    """
+
+    START = 0
+
+    def __init__(
+        self,
+        latencies,
+        name: str = "loop",
+        delay_model: DelayModel = DelayModel.VLIW,
+    ) -> None:
+        self.name = name
+        self.delay_model = delay_model
+        self._latencies = latencies
+        self._operations: List[Operation] = [Operation(0, START_OPCODE)]
+        self._edges: List[DependenceEdge] = []
+        self._pred_edges: List[List[DependenceEdge]] = [[]]
+        self._succ_edges: List[List[DependenceEdge]] = [[]]
+        self._sealed = False
+        self._stop: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_operation(
+        self,
+        opcode: str,
+        dest: Optional[str] = None,
+        srcs: Sequence[str] = (),
+        predicate: Optional[str] = None,
+        **attrs,
+    ) -> int:
+        """Append a real operation and return its index."""
+        self._require_unsealed()
+        if opcode in (START_OPCODE, STOP_OPCODE):
+            raise GraphError("pseudo-operations are managed by the graph itself")
+        # Consulting the latency provider here surfaces unknown opcodes at
+        # construction time rather than deep inside the scheduler.
+        self._latencies.latency(opcode)
+        index = len(self._operations)
+        self._operations.append(
+            Operation(index, opcode, dest, tuple(srcs), predicate, dict(attrs))
+        )
+        self._pred_edges.append([])
+        self._succ_edges.append([])
+        return index
+
+    def add_edge(
+        self,
+        pred: int,
+        succ: int,
+        kind: DependenceKind,
+        distance: int = 0,
+        delay: Optional[int] = None,
+    ) -> DependenceEdge:
+        """Add a dependence edge.
+
+        If ``delay`` is omitted it is derived from the operations' latencies
+        using the graph's delay model (Table 1).
+        """
+        self._require_unsealed()
+        self._check_index(pred)
+        self._check_index(succ)
+        if pred == self.START or succ == self.START:
+            raise GraphError("START edges are added automatically at seal time")
+        if delay is None:
+            delay = edge_delay(
+                kind, self.latency(pred), self.latency(succ), self.delay_model
+            )
+        edge = DependenceEdge(pred, succ, kind, distance, delay)
+        self._record_edge(edge)
+        return edge
+
+    def seal(self) -> "DependenceGraph":
+        """Append STOP, add the START/STOP bracketing edges, and freeze.
+
+        Returns the graph itself so construction can be written as a chain.
+        """
+        self._require_unsealed()
+        stop = len(self._operations)
+        self._operations.append(Operation(stop, STOP_OPCODE))
+        self._pred_edges.append([])
+        self._succ_edges.append([])
+        for op in self._operations[1:stop]:
+            self._record_edge(
+                DependenceEdge(self.START, op.index, DependenceKind.FLOW, 0, 0)
+            )
+            self._record_edge(
+                DependenceEdge(
+                    op.index, stop, DependenceKind.FLOW, 0, self.latency(op.index)
+                )
+            )
+        # A loop body with no real operations still gets a START->STOP edge
+        # so that the schedule length is well defined.
+        if stop == 1:
+            self._record_edge(
+                DependenceEdge(self.START, stop, DependenceKind.FLOW, 0, 0)
+            )
+        self._stop = stop
+        self._sealed = True
+        return self
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def sealed(self) -> bool:
+        """Whether :meth:`seal` has run (the graph is then immutable)."""
+        return self._sealed
+
+    @property
+    def stop(self) -> int:
+        """Index of the STOP pseudo-operation (graph must be sealed)."""
+        if self._stop is None:
+            raise GraphError("graph is not sealed; STOP does not exist yet")
+        return self._stop
+
+    @property
+    def n_ops(self) -> int:
+        """Total number of operations, including pseudo-operations."""
+        return len(self._operations)
+
+    @property
+    def n_real_ops(self) -> int:
+        """Number of real (non-pseudo) operations."""
+        return len(self._operations) - (2 if self._sealed else 1)
+
+    @property
+    def n_edges(self) -> int:
+        """Total number of dependence edges (bracketing edges included)."""
+        return len(self._edges)
+
+    @property
+    def operations(self) -> Tuple[Operation, ...]:
+        """All operations, pseudo-operations included, by index."""
+        return tuple(self._operations)
+
+    @property
+    def edges(self) -> Tuple[DependenceEdge, ...]:
+        """All dependence edges, in insertion order."""
+        return tuple(self._edges)
+
+    def operation(self, index: int) -> Operation:
+        """The operation at ``index`` (raises GraphError when invalid)."""
+        self._check_index(index)
+        return self._operations[index]
+
+    def real_operations(self) -> Iterator[Operation]:
+        """Iterate over the non-pseudo operations."""
+        return (op for op in self._operations if not op.is_pseudo)
+
+    def latency(self, index: int) -> int:
+        """Execution latency of the operation at ``index``."""
+        op = self._operations[index]
+        if op.is_pseudo:
+            return 0
+        return self._latencies.latency(op.opcode)
+
+    def pred_edges(self, index: int) -> Tuple[DependenceEdge, ...]:
+        """Edges whose successor is ``index``."""
+        self._check_index(index)
+        return tuple(self._pred_edges[index])
+
+    def succ_edges(self, index: int) -> Tuple[DependenceEdge, ...]:
+        """Edges whose predecessor is ``index``."""
+        self._check_index(index)
+        return tuple(self._succ_edges[index])
+
+    def preds(self, index: int) -> Tuple[int, ...]:
+        """Indices of immediate predecessors of ``index``."""
+        return tuple(e.pred for e in self._pred_edges[index])
+
+    def succs(self, index: int) -> Tuple[int, ...]:
+        """Indices of immediate successors of ``index``."""
+        return tuple(e.succ for e in self._succ_edges[index])
+
+    def describe(self) -> str:
+        """Multi-line rendering of the graph for debugging and reports."""
+        lines = [f"DependenceGraph {self.name!r}: {self.n_real_ops} real ops"]
+        lines.extend("  " + op.describe() for op in self._operations)
+        lines.extend("  " + e.describe() for e in self._edges)
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _record_edge(self, edge: DependenceEdge) -> None:
+        self._edges.append(edge)
+        self._succ_edges[edge.pred].append(edge)
+        self._pred_edges[edge.succ].append(edge)
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < len(self._operations):
+            raise GraphError(
+                f"operation index {index} out of range for graph {self.name!r}"
+            )
+
+    def _require_unsealed(self) -> None:
+        if self._sealed:
+            raise GraphError(f"graph {self.name!r} is sealed")

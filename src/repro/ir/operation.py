@@ -1,0 +1,92 @@
+"""Operations: the vertices of the dependence graph.
+
+An :class:`Operation` is a single machine-level operation in the loop body,
+identified by an opcode understood by the machine description, plus
+(optionally) the virtual registers it reads and writes.  The register and
+attribute fields exist for the benefit of the front end, code generator and
+simulator; the scheduler itself only consumes the opcode (to obtain
+reservation-table alternatives and latency) and the dependence edges.
+
+Two pseudo-operations, START and STOP, bracket every dependence graph
+(Section 3.1).  They consume no machine resources, and the delay on each
+``op -> STOP`` edge is the latency of ``op``, so STOP's scheduled time is
+the schedule length for one iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+START_OPCODE = "__start__"
+STOP_OPCODE = "__stop__"
+
+_PSEUDO_OPCODES = frozenset({START_OPCODE, STOP_OPCODE})
+
+
+@dataclass
+class Operation:
+    """A vertex in the dependence graph.
+
+    Attributes
+    ----------
+    index:
+        Position of the operation within its graph (assigned by the graph).
+    opcode:
+        Opcode name; must be known to the machine description used for
+        scheduling, or one of the pseudo opcodes.
+    dest:
+        Name of the virtual register (EVR) written, or ``None``.
+    srcs:
+        Names of virtual registers read.  Literal operands are carried in
+        ``attrs`` instead so that ``srcs`` is purely a register-use list.
+    predicate:
+        Name of the predicate register guarding this operation, or ``None``
+        for an unconditional operation.
+    attrs:
+        Free-form attributes attached by the front end (array names, literal
+        values, comparison kinds, ...) and consumed by the simulator and
+        code generator.
+    """
+
+    index: int
+    opcode: str
+    dest: Optional[str] = None
+    srcs: Tuple[str, ...] = ()
+    predicate: Optional[str] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def is_pseudo(self) -> bool:
+        """True for the START/STOP pseudo-operations."""
+        return self.opcode in _PSEUDO_OPCODES
+
+    @property
+    def is_start(self) -> bool:
+        """True for the START pseudo-operation."""
+        return self.opcode == START_OPCODE
+
+    @property
+    def is_stop(self) -> bool:
+        """True for the STOP pseudo-operation."""
+        return self.opcode == STOP_OPCODE
+
+    def reads(self) -> Tuple[str, ...]:
+        """All register names read, including the guarding predicate."""
+        if self.predicate is None:
+            return self.srcs
+        return self.srcs + (self.predicate,)
+
+    def describe(self) -> str:
+        """Human-readable one-line rendering of the operation."""
+        parts = [f"#{self.index}", self.opcode]
+        if self.dest is not None:
+            parts.append(f"{self.dest} <-")
+        if self.srcs:
+            parts.append(", ".join(self.srcs))
+        if self.predicate is not None:
+            parts.append(f"if {self.predicate}")
+        return " ".join(parts)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.describe()

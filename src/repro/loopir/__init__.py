@@ -1,0 +1,101 @@
+"""A DO-loop front end for the modulo scheduler.
+
+The paper's scheduler consumed the Cydra 5 compiler's intermediate
+representation of Fortran innermost loops, *after* IF-conversion, dynamic
+single assignment and dependence analysis.  This package recreates that
+pipeline for a small loop language:
+
+1. :mod:`repro.loopir.ast` / :mod:`repro.loopir.parser` — a textual DSL for
+   innermost DO-loops over arrays and scalars, with arithmetic, reductions
+   and (possibly nested) conditionals;
+2. :mod:`repro.loopir.ifconv` — IF-conversion: control flow becomes
+   predicate computations; scalar writes under a predicate become
+   speculative computes merged with ``select``; stores stay predicated;
+3. :mod:`repro.loopir.lower` — lowering to machine operations in dynamic
+   single assignment form (scalar anti-/output dependences vanish, as the
+   paper assumes of its EVR-based input), address-recurrence generation for
+   array references, and array dependence analysis producing flow/anti/
+   output memory edges with iteration distances.
+
+:func:`compile_loop` runs the whole pipeline: DSL text in, sealed
+:class:`~repro.ir.DependenceGraph` out (plus the metadata the simulator
+and code generator need, via :func:`compile_loop_full`).
+"""
+
+from repro.loopir.ast import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    Compare,
+    If,
+    IVar,
+    Loop,
+    Num,
+    Scalar,
+    Store,
+)
+from repro.loopir.parser import parse_loop, ParseError
+from repro.loopir.ifconv import if_convert, PredicatedStatement
+from repro.loopir.lower import lower_loop, LoweredLoop, LoweringError
+from repro.loopir.optimize import eliminate_dead_code
+
+
+def compile_loop(
+    source: str, machine, name: str = None, delay_model=None, optimize=True
+):
+    """Compile DSL text to a sealed dependence graph for ``machine``."""
+    return compile_loop_full(source, machine, name, delay_model, optimize).graph
+
+
+def compile_loop_full(
+    source: str,
+    machine,
+    name: str = None,
+    delay_model=None,
+    optimize: bool = True,
+) -> LoweredLoop:
+    """Compile DSL text, returning the graph plus front-end metadata.
+
+    ``delay_model`` selects the Table-1 column for edge delays
+    (:class:`repro.ir.DelayModel`; the exact VLIW formulae by default).
+    ``optimize`` enables value numbering during lowering and dead-code
+    elimination afterwards, matching the paper's pre-optimized input.
+    """
+    from repro.ir import DelayModel
+
+    loop = parse_loop(source)
+    if name is not None:
+        loop.name = name
+    statements = if_convert(loop)
+    if delay_model is None:
+        delay_model = DelayModel.VLIW
+    lowered = lower_loop(loop, statements, machine, delay_model, optimize)
+    if optimize:
+        lowered = eliminate_dead_code(lowered)
+    return lowered
+
+
+__all__ = [
+    "ArrayRef",
+    "Assign",
+    "BinOp",
+    "Call",
+    "Compare",
+    "If",
+    "IVar",
+    "Loop",
+    "Num",
+    "Scalar",
+    "Store",
+    "parse_loop",
+    "ParseError",
+    "if_convert",
+    "PredicatedStatement",
+    "lower_loop",
+    "LoweredLoop",
+    "LoweringError",
+    "eliminate_dead_code",
+    "compile_loop",
+    "compile_loop_full",
+]

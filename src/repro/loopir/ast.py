@@ -1,0 +1,234 @@
+"""Abstract syntax for the loop DSL.
+
+A program is a single innermost DO-loop::
+
+    for i in n:
+        t = a[i] + b[i+1]
+        if t > 0.0:
+            s = s + t
+        c[i] = t * 0.5
+
+* ``i`` is the induction variable (zero-based), ``n`` the trip count.
+* Array references use affine subscripts ``i + c`` / ``i - c`` only, which
+  is what constant-distance dependence analysis requires.
+* Scalars that are read before any write in the body are either live-in
+  loop invariants or loop-carried (if also written later) — the lowering
+  pass tells them apart.
+* All values are floating point (as in the paper's Fortran kernels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Num:
+    """A literal constant."""
+
+    value: float
+
+
+@dataclass(frozen=True)
+class Scalar:
+    """A scalar variable reference."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class IVar:
+    """The induction variable used as a value (e.g. ``0.5 * i``)."""
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    """An array element ``array[i + offset]`` (a load when read)."""
+
+    array: str
+    offset: int
+
+
+@dataclass(frozen=True)
+class IndirectRef:
+    """An indirectly addressed element ``array[index_array[i + offset]]``.
+
+    The subscript is unanalyzable at compile time, so dependence analysis
+    must serialize this reference conservatively against every store to
+    ``array`` (and vice versa when this reference is itself stored to).
+    """
+
+    array: str
+    index: ArrayRef
+
+
+@dataclass(frozen=True)
+class BinOp:
+    """Arithmetic: ``op`` is one of ``+ - * /``."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class Call:
+    """Intrinsic call: sqrt, abs, min, max."""
+
+    fn: str
+    args: Tuple["Expr", ...]
+
+
+@dataclass(frozen=True)
+class Compare:
+    """Comparison producing a predicate: ``op`` in ``< <= == != > >=``."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class BoolOp:
+    """Predicate combination: ``op`` in ``and or``."""
+
+    op: str
+    left: "Cond"
+    right: "Cond"
+
+
+@dataclass(frozen=True)
+class NotOp:
+    """Predicate negation."""
+
+    operand: "Cond"
+
+
+Expr = Union[Num, Scalar, IVar, ArrayRef, IndirectRef, BinOp, Call]
+Cond = Union[Compare, BoolOp, NotOp]
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Assign:
+    """``scalar = expr``."""
+
+    target: str
+    value: Expr
+
+
+@dataclass
+class Store:
+    """``array[i + offset] = expr``."""
+
+    array: str
+    offset: int
+    value: Expr
+
+
+@dataclass
+class IndirectStore:
+    """``array[index_array[i + offset]] = expr`` (a scatter)."""
+
+    array: str
+    index: ArrayRef
+    value: Expr
+
+
+@dataclass
+class If:
+    """A conditional with optional else branch."""
+
+    cond: Cond
+    then_body: List["Statement"]
+    else_body: List["Statement"] = field(default_factory=list)
+
+
+Statement = Union[Assign, Store, IndirectStore, If]
+
+
+@dataclass
+class Loop:
+    """The whole program: one innermost DO-loop.
+
+    With ``while_cond`` set, the loop is a WHILE-style loop: before each
+    iteration the condition is evaluated against the current state and
+    the loop exits early once it is false (the trip count remains an
+    upper bound).
+    """
+
+    ivar: str
+    trip: str
+    body: List[Statement]
+    name: str = "loop"
+    while_cond: Optional[Cond] = None
+
+    def arrays_read(self) -> List[str]:
+        """Names of arrays loaded anywhere in the body (sorted)."""
+        found = set()
+
+        def walk_expr(expr) -> None:
+            if isinstance(expr, ArrayRef):
+                found.add(expr.array)
+            elif isinstance(expr, IndirectRef):
+                found.add(expr.array)
+                found.add(expr.index.array)
+            elif isinstance(expr, (BinOp, Compare)):
+                walk_expr(expr.left)
+                walk_expr(expr.right)
+            elif isinstance(expr, Call):
+                for arg in expr.args:
+                    walk_expr(arg)
+            elif isinstance(expr, BoolOp):
+                walk_expr(expr.left)
+                walk_expr(expr.right)
+            elif isinstance(expr, NotOp):
+                walk_expr(expr.operand)
+
+        def walk_stmt(stmt) -> None:
+            if isinstance(stmt, Assign):
+                walk_expr(stmt.value)
+            elif isinstance(stmt, Store):
+                walk_expr(stmt.value)
+            elif isinstance(stmt, IndirectStore):
+                found.add(stmt.index.array)
+                walk_expr(stmt.value)
+            elif isinstance(stmt, If):
+                walk_expr(stmt.cond)
+                for s in stmt.then_body + stmt.else_body:
+                    walk_stmt(s)
+
+        for statement in self.body:
+            walk_stmt(statement)
+        if self.while_cond is not None:
+            walk_expr(self.while_cond)
+        return sorted(found)
+
+    def arrays_written(self) -> List[str]:
+        """Names of arrays stored anywhere in the body (sorted)."""
+        found = set()
+
+        def walk_stmt(stmt) -> None:
+            if isinstance(stmt, (Store, IndirectStore)):
+                found.add(stmt.array)
+            elif isinstance(stmt, If):
+                for s in stmt.then_body + stmt.else_body:
+                    walk_stmt(s)
+
+        for statement in self.body:
+            walk_stmt(statement)
+        return sorted(found)
+
+    def arrays(self) -> List[str]:
+        """All arrays read or written anywhere in the loop (sorted)."""
+        return sorted(set(self.arrays_read()) | set(self.arrays_written()))

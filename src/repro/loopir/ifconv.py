@@ -1,0 +1,75 @@
+"""IF-conversion: control flow to predicates (Section 1's pre-pass).
+
+The loop body is an acyclic control-flow region.  IF-conversion flattens it
+into a single straight-line block of *guarded* statements: each statement
+carries the conjunction of the branch conditions dominating it (or no
+guard).  Branches disappear; control dependence becomes data dependence on
+predicate values, exactly as on the Cydra 5.
+
+Downstream, the lowering pass keeps guards on stores (they have side
+effects) and turns guarded scalar assignments into speculative computation
+merged with a ``select`` — the standard way to exploit machines whose
+arithmetic cannot fault.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+from repro.loopir.ast import Assign, BoolOp, Cond, If, Loop, NotOp, Statement, Store
+
+
+@dataclass
+class PredicatedStatement:
+    """A non-branch statement plus the predicate expression guarding it."""
+
+    guard: Optional[Cond]
+    statement: Union[Assign, Store]
+
+
+@dataclass
+class CondEvaluation:
+    """Evaluate a branch condition *here*, at the If's program point.
+
+    Guards downstream refer to this evaluation (by the identity of the
+    ``cond`` node).  Materializing the predicate at the branch point is
+    essential for correctness, not just efficiency: a then-branch may
+    redefine a scalar the condition reads, and the else-branch's
+    ``not cond`` must still see the *original* value — exactly as the
+    branch hardware would have.
+    """
+
+    cond: Cond
+
+
+def _conjoin(left: Optional[Cond], right: Cond) -> Cond:
+    if left is None:
+        return right
+    return BoolOp("and", left, right)
+
+
+def if_convert(loop: Loop) -> List[Union[PredicatedStatement, CondEvaluation]]:
+    """Flatten the loop body into guarded straight-line statements.
+
+    The result interleaves :class:`CondEvaluation` markers (one per If,
+    in program order) with :class:`PredicatedStatement` entries whose
+    guards are conjunctions over the marked condition nodes.
+    """
+    flattened: List[Union[PredicatedStatement, CondEvaluation]] = []
+
+    def walk(statements: List[Statement], guard: Optional[Cond]) -> None:
+        for statement in statements:
+            if isinstance(statement, If):
+                flattened.append(CondEvaluation(statement.cond))
+                walk(statement.then_body, _conjoin(guard, statement.cond))
+                if statement.else_body:
+                    walk(
+                        statement.else_body,
+                        _conjoin(guard, NotOp(statement.cond)),
+                    )
+            else:
+                flattened.append(PredicatedStatement(guard, statement))
+
+    walk(loop.body, None)
+    return flattened

@@ -1,0 +1,136 @@
+"""Post-lowering optimization: dead-code elimination by graph rebuild.
+
+Value numbering (in :mod:`repro.loopir.lower`) removes duplicate
+computations at emission time; what remains dead afterwards are shadowed
+definitions — e.g. ``u = a[i] * 2.0`` immediately overwritten by
+``u = b[i]`` — whose results nothing observable consumes.  The observable
+roots of a loop are its stores, its loop control, and the final
+definition of every assigned scalar (those values are live-out).
+
+Because dependence graphs are sealed (immutable), elimination rebuilds:
+live operations are copied into a fresh graph in order, edges between
+live operations are re-added (the START/STOP bracket is recreated by
+``seal``), and all metadata — operand descriptors, carried/final
+definitions, live-ins — is remapped.  The result is a new
+:class:`~repro.loopir.lower.LoweredLoop` that simulates identically,
+which the tests verify against the sequential oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.ir.graph import DependenceGraph
+from repro.loopir.lower import LoweredLoop
+
+
+def _observable_roots(lowered: LoweredLoop) -> Set[int]:
+    roots: Set[int] = set()
+    for op in lowered.graph.real_operations():
+        if op.opcode in ("store", "brtop"):
+            roots.add(op.index)
+    roots.update(lowered.final_defs.values())
+    roots.update(lowered.carried_defs.values())
+    if lowered.alive_op is not None:
+        roots.add(lowered.alive_op)
+    return roots
+
+
+def _live_set(lowered: LoweredLoop) -> Set[int]:
+    """Backward closure of the roots over operand (dataflow) edges."""
+    graph = lowered.graph
+    live = set(_observable_roots(lowered))
+    work = list(live)
+    while work:
+        op = work.pop()
+        for descriptor in graph.operation(op).attrs.get("operands", ()):
+            if descriptor[0] != "op":
+                continue
+            producer = descriptor[1]
+            if producer not in live:
+                live.add(producer)
+                work.append(producer)
+    return live
+
+
+def eliminate_dead_code(lowered: LoweredLoop) -> LoweredLoop:
+    """Return an equivalent LoweredLoop without dead operations.
+
+    Idempotent; returns the input object unchanged when nothing is dead.
+    """
+    graph = lowered.graph
+    live = _live_set(lowered)
+    dead = [
+        op.index
+        for op in graph.real_operations()
+        if op.index not in live
+    ]
+    if not dead:
+        return lowered
+
+    rebuilt = DependenceGraph(
+        graph._latencies, name=graph.name, delay_model=graph.delay_model
+    )
+    index_map: Dict[int, int] = {}
+    for op in graph.real_operations():
+        if op.index not in live:
+            continue
+        index_map[op.index] = rebuilt.add_operation(
+            op.opcode,
+            dest=op.dest,
+            srcs=op.srcs,
+            predicate=op.predicate,
+            **dict(op.attrs),
+        )
+    # Remap operand descriptors onto the new indices.
+    for old_index, new_index in index_map.items():
+        operation = rebuilt.operation(new_index)
+        operands = operation.attrs.get("operands")
+        if operands is None:
+            continue
+        operation.attrs["operands"] = tuple(
+            ("op", index_map[d[1]], d[2]) if d[0] == "op" else d
+            for d in operands
+        )
+    # Re-add every edge whose endpoints are both live and real; dead
+    # operations feed only dead operations, so nothing live dangles.
+    for edge in graph.edges:
+        pred = graph.operation(edge.pred)
+        succ = graph.operation(edge.succ)
+        if pred.is_pseudo or succ.is_pseudo:
+            continue
+        if edge.pred not in index_map or edge.succ not in index_map:
+            continue
+        rebuilt.add_edge(
+            index_map[edge.pred],
+            index_map[edge.succ],
+            edge.kind,
+            distance=edge.distance,
+            delay=edge.delay,
+        )
+    rebuilt.seal()
+
+    # Live-ins keep the original (super)set: the sequential oracle still
+    # interprets the full AST, dead reads included, so every scalar it
+    # touches must remain in the initial state.
+    live_ins: Set[str] = set(lowered.live_in_scalars)
+    live_ins.update(lowered.carried_defs)
+
+    return LoweredLoop(
+        loop=lowered.loop,
+        graph=rebuilt,
+        machine=lowered.machine,
+        statements=lowered.statements,
+        live_in_scalars=live_ins,
+        carried_defs={
+            name: index_map[op] for name, op in lowered.carried_defs.items()
+        },
+        final_defs={
+            name: index_map[op] for name, op in lowered.final_defs.items()
+        },
+        alive_op=(
+            None
+            if lowered.alive_op is None
+            else index_map[lowered.alive_op]
+        ),
+    )

@@ -1,0 +1,369 @@
+"""Recursive-descent parser for the loop DSL.
+
+The concrete syntax is indentation-based, one statement per line::
+
+    for i in n:
+        t = a[i] * x + b[i+1]   # comments run to end of line
+        if t >= 0.0 and t < hi:
+            s = s + sqrt(t)
+        else:
+            s = s - abs(t)
+        c[i] = max(t, floor)
+
+Tokens: identifiers, numbers, ``[ ] ( ) , = + - * /``, comparison
+operators, and the keywords ``for in if else and or not``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.loopir.ast import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    BoolOp,
+    Call,
+    Compare,
+    If,
+    IndirectRef,
+    IndirectStore,
+    IVar,
+    Loop,
+    NotOp,
+    Num,
+    Scalar,
+    Statement,
+    Store,
+)
+
+_KEYWORDS = {"for", "in", "if", "else", "and", "or", "not", "while"}
+_INTRINSICS = {"sqrt", "abs", "min", "max", "neg"}
+_COMPARISONS = {"<", "<=", "==", "!=", ">", ">="}
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:"
+    r"(?P<number>\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?|\d+(?:[eE][+-]?\d+)?)"
+    r"|(?P<name>[A-Za-z_][A-Za-z_0-9]*)"
+    r"|(?P<op><=|>=|==|!=|<|>|=|\+|-|\*|/|\[|\]|\(|\)|,|:)"
+    r")"
+)
+
+
+class ParseError(ValueError):
+    """Raised on malformed DSL text, with a line number when available."""
+
+
+def _tokenize(text: str, line_no: int) -> List[str]:
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None or match.end() == pos:
+            if text[pos:].strip() == "":
+                break
+            raise ParseError(f"line {line_no}: cannot tokenize {text[pos:]!r}")
+        tokens.append(match.group().strip())
+        pos = match.end()
+    return tokens
+
+
+class _Line:
+    """One meaningful source line: indent depth plus its token stream."""
+
+    def __init__(self, number: int, indent: int, tokens: List[str]) -> None:
+        self.number = number
+        self.indent = indent
+        self.tokens = tokens
+
+
+def _logical_lines(source: str) -> List[_Line]:
+    lines = []
+    for number, raw in enumerate(source.splitlines(), start=1):
+        text = raw.split("#", 1)[0].rstrip()
+        if not text.strip():
+            continue
+        stripped = text.lstrip()
+        indent = len(text) - len(stripped)
+        if "\t" in text[: indent]:
+            raise ParseError(f"line {number}: tabs are not allowed in indentation")
+        lines.append(_Line(number, indent, _tokenize(stripped, number)))
+    return lines
+
+
+class _TokenCursor:
+    """A cursor over one line's tokens, with backtracking support."""
+
+    def __init__(self, line: _Line) -> None:
+        self.line = line
+        self.pos = 0
+
+    def peek(self) -> Optional[str]:
+        if self.pos < len(self.line.tokens):
+            return self.line.tokens[self.pos]
+        return None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise ParseError(f"line {self.line.number}: unexpected end of line")
+        self.pos += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        got = self.next()
+        if got != token:
+            raise ParseError(
+                f"line {self.line.number}: expected {token!r}, got {got!r}"
+            )
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.line.tokens)
+
+    def error(self, message: str) -> ParseError:
+        return ParseError(f"line {self.line.number}: {message}")
+
+
+class _Parser:
+    def __init__(self, source: str) -> None:
+        self.lines = _logical_lines(source)
+        self.index = 0
+        self.ivar = ""
+
+    # -- line-level structure ------------------------------------------
+
+    def parse(self) -> Loop:
+        if not self.lines:
+            raise ParseError("empty program")
+        header = _TokenCursor(self.lines[self.index])
+        self.index += 1
+        header.expect("for")
+        self.ivar = self._name(header)
+        header.expect("in")
+        trip = self._name(header)
+        while_cond = None
+        if header.peek() == "while":
+            header.next()
+            while_cond = self._cond(header)
+        header.expect(":")
+        if not header.at_end():
+            raise header.error("trailing tokens after loop header")
+        body = self._parse_block(self.lines[0].indent)
+        if self.index < len(self.lines):
+            stray = self.lines[self.index]
+            raise ParseError(
+                f"line {stray.number}: statement outside the loop body"
+            )
+        if not body:
+            raise ParseError("loop body is empty")
+        return Loop(ivar=self.ivar, trip=trip, body=body, while_cond=while_cond)
+
+    def _parse_block(self, parent_indent: int) -> List[Statement]:
+        if self.index >= len(self.lines):
+            return []
+        indent = self.lines[self.index].indent
+        if indent <= parent_indent:
+            return []
+        statements: List[Statement] = []
+        while self.index < len(self.lines):
+            line = self.lines[self.index]
+            if line.indent < indent:
+                break
+            if line.indent > indent:
+                raise ParseError(f"line {line.number}: unexpected indent")
+            statements.append(self._parse_statement(line, indent))
+        return statements
+
+    def _parse_statement(self, line: _Line, indent: int) -> Statement:
+        cursor = _TokenCursor(line)
+        if cursor.peek() == "if":
+            return self._parse_if(cursor, indent)
+        if cursor.peek() == "else":
+            raise cursor.error("'else' without matching 'if'")
+        self.index += 1
+        name = self._name(cursor)
+        if cursor.peek() == "[":
+            subscript = self._index_suffix(cursor)
+            cursor.expect("=")
+            value = self._expr(cursor)
+            self._finish_line(cursor)
+            if isinstance(subscript, ArrayRef):
+                return IndirectStore(name, subscript, value)
+            return Store(name, subscript, value)
+        cursor.expect("=")
+        value = self._expr(cursor)
+        self._finish_line(cursor)
+        return Assign(name, value)
+
+    def _parse_if(self, cursor: _TokenCursor, indent: int) -> If:
+        self.index += 1
+        cursor.expect("if")
+        cond = self._cond(cursor)
+        cursor.expect(":")
+        self._finish_line(cursor)
+        then_body = self._parse_block(indent)
+        if not then_body:
+            raise cursor.error("'if' has an empty body")
+        else_body: List[Statement] = []
+        if (
+            self.index < len(self.lines)
+            and self.lines[self.index].indent == indent
+            and self.lines[self.index].tokens[:1] == ["else"]
+        ):
+            else_line = _TokenCursor(self.lines[self.index])
+            self.index += 1
+            else_line.expect("else")
+            else_line.expect(":")
+            self._finish_line(else_line)
+            else_body = self._parse_block(indent)
+            if not else_body:
+                raise else_line.error("'else' has an empty body")
+        return If(cond, then_body, else_body)
+
+    # -- expressions ----------------------------------------------------
+
+    def _cond(self, cursor: _TokenCursor):
+        left = self._and_cond(cursor)
+        while cursor.peek() == "or":
+            cursor.next()
+            left = BoolOp("or", left, self._and_cond(cursor))
+        return left
+
+    def _and_cond(self, cursor: _TokenCursor):
+        left = self._not_cond(cursor)
+        while cursor.peek() == "and":
+            cursor.next()
+            left = BoolOp("and", left, self._not_cond(cursor))
+        return left
+
+    def _not_cond(self, cursor: _TokenCursor):
+        if cursor.peek() == "not":
+            cursor.next()
+            return NotOp(self._not_cond(cursor))
+        if cursor.peek() == "(":
+            # Either a parenthesized condition or a parenthesized
+            # arithmetic expression starting a comparison: backtrack.
+            saved = cursor.pos
+            try:
+                cursor.next()
+                cond = self._cond(cursor)
+                cursor.expect(")")
+                if cursor.peek() in _COMPARISONS:
+                    raise cursor.error("comparison of a condition")
+                return cond
+            except ParseError:
+                cursor.pos = saved
+        return self._comparison(cursor)
+
+    def _comparison(self, cursor: _TokenCursor) -> Compare:
+        left = self._expr(cursor)
+        op = cursor.next()
+        if op not in _COMPARISONS:
+            raise cursor.error(f"expected a comparison operator, got {op!r}")
+        right = self._expr(cursor)
+        return Compare(op, left, right)
+
+    def _expr(self, cursor: _TokenCursor):
+        left = self._term(cursor)
+        while cursor.peek() in ("+", "-"):
+            op = cursor.next()
+            left = BinOp(op, left, self._term(cursor))
+        return left
+
+    def _term(self, cursor: _TokenCursor):
+        left = self._unary(cursor)
+        while cursor.peek() in ("*", "/"):
+            op = cursor.next()
+            left = BinOp(op, left, self._unary(cursor))
+        return left
+
+    def _unary(self, cursor: _TokenCursor):
+        if cursor.peek() == "-":
+            cursor.next()
+            operand = self._unary(cursor)
+            if isinstance(operand, Num):
+                return Num(-operand.value)
+            return Call("neg", (operand,))
+        return self._atom(cursor)
+
+    def _atom(self, cursor: _TokenCursor):
+        token = cursor.next()
+        if token == "(":
+            inner = self._expr(cursor)
+            cursor.expect(")")
+            return inner
+        if re.fullmatch(r"(\d+\.?\d*|\.\d+)([eE][+-]?\d+)?", token):
+            return Num(float(token))
+        if not re.fullmatch(r"[A-Za-z_][A-Za-z_0-9]*", token) or token in _KEYWORDS:
+            raise cursor.error(f"unexpected token {token!r} in expression")
+        if token in _INTRINSICS and cursor.peek() == "(":
+            cursor.expect("(")
+            args = [self._expr(cursor)]
+            while cursor.peek() == ",":
+                cursor.next()
+                args.append(self._expr(cursor))
+            cursor.expect(")")
+            arity = 1 if token in ("sqrt", "abs", "neg") else 2
+            if len(args) != arity:
+                raise cursor.error(f"{token}() takes {arity} argument(s)")
+            return Call(token, tuple(args))
+        if cursor.peek() == "[":
+            subscript = self._index_suffix(cursor)
+            if isinstance(subscript, ArrayRef):
+                return IndirectRef(token, subscript)
+            return ArrayRef(token, subscript)
+        if token == self.ivar:
+            return IVar()
+        return Scalar(token)
+
+    def _index_suffix(self, cursor: _TokenCursor):
+        """Parse a subscript: ``[i±c]`` (returns the int offset) or the
+        indirect form ``[idx[i±c]]`` (returns the inner ArrayRef)."""
+        cursor.expect("[")
+        name = self._name(cursor)
+        if name != self.ivar:
+            if cursor.peek() == "[":
+                inner = self._index_suffix(cursor)
+                if isinstance(inner, ArrayRef):
+                    raise cursor.error(
+                        "doubly indirect subscripts are not supported"
+                    )
+                cursor.expect("]")
+                return ArrayRef(name, inner)
+            raise cursor.error(
+                f"array subscript must use the induction variable "
+                f"{self.ivar!r}, got {name!r}"
+            )
+        offset = 0
+        if cursor.peek() in ("+", "-"):
+            sign = -1 if cursor.next() == "-" else 1
+            literal = cursor.next()
+            if not literal.isdigit():
+                raise cursor.error(
+                    f"array subscript offset must be an integer literal, "
+                    f"got {literal!r}"
+                )
+            offset = sign * int(literal)
+        cursor.expect("]")
+        return offset
+
+    # -- helpers ---------------------------------------------------------
+
+    def _name(self, cursor: _TokenCursor) -> str:
+        token = cursor.next()
+        if not re.fullmatch(r"[A-Za-z_][A-Za-z_0-9]*", token) or token in _KEYWORDS:
+            raise cursor.error(f"expected an identifier, got {token!r}")
+        return token
+
+    @staticmethod
+    def _finish_line(cursor: _TokenCursor) -> None:
+        if not cursor.at_end():
+            raise cursor.error(
+                f"trailing tokens: {' '.join(cursor.line.tokens[cursor.pos:])!r}"
+            )
+
+
+def parse_loop(source: str) -> Loop:
+    """Parse DSL text into a :class:`~repro.loopir.ast.Loop`."""
+    return _Parser(source).parse()

@@ -1,0 +1,52 @@
+"""Machine models: resources, reservation tables, opcodes, machines.
+
+Resource usage is modelled exactly as in Section 2.1 of the paper: the
+resource usage of an opcode is a *reservation table* — a list of
+``(resource, time-offset)`` pairs relative to the issue cycle.  An opcode
+may be executable on several functional units, in which case it has
+multiple *alternatives*, each with its own reservation table.
+
+The package ships the reconstructed Cydra 5 machine description used by the
+paper's evaluation (Table 2) plus several smaller machines used by tests
+and examples.
+"""
+
+from repro.machine.resources import (
+    ReservationTable,
+    TableKind,
+    render_reservation_tables,
+)
+from repro.machine.opcodes import Opcode
+from repro.machine.machine import MachineDescription, MachineError
+from repro.machine.cydra5 import cydra5, cydra5_variant
+from repro.machine.simple import (
+    single_alu_machine,
+    two_alu_machine,
+    bus_conflict_machine,
+    superscalar_machine,
+)
+from repro.machine.serialize import (
+    machine_from_dict,
+    machine_from_json,
+    machine_to_dict,
+    machine_to_json,
+)
+
+__all__ = [
+    "machine_from_dict",
+    "machine_from_json",
+    "machine_to_dict",
+    "machine_to_json",
+    "ReservationTable",
+    "TableKind",
+    "render_reservation_tables",
+    "Opcode",
+    "MachineDescription",
+    "MachineError",
+    "cydra5",
+    "cydra5_variant",
+    "single_alu_machine",
+    "two_alu_machine",
+    "bus_conflict_machine",
+    "superscalar_machine",
+]

@@ -1,0 +1,188 @@
+"""Reconstructed Cydra 5 machine description (Table 2 of the paper).
+
+The paper's experiments used the Cydra 5's detailed reservation tables with
+the latencies of Table 2 (load latency forced to 20 cycles).  The exact
+proprietary tables are not public; this module reconstructs a machine with
+the same functional-unit counts and latencies, and with the structural
+properties the paper describes:
+
+* two memory ports which also execute predicate set/reset (and here,
+  compares), with a *complex* reservation table for loads — the port is
+  occupied again on the data-return cycle, 19 cycles after issue;
+* two address ALUs with simple tables;
+* one adder and one multiplier whose pipelines deposit results on a shared
+  floating-point result bus, reproducing the cross-unit collision of
+  Figure 1 (an add may not issue one cycle after a multiply);
+* divide and square root *block* the multiplier pipeline for many cycles;
+* one instruction unit executing the loop-closing branch.
+
+===============  ======  =============================  =========
+Functional unit  Number  Operations                     Latency
+===============  ======  =============================  =========
+Memory port      2       load                           20
+                         store                          2
+                         predicate set/reset, compares  2
+Address ALU      2       address add/subtract, copies   3
+Adder            1       integer/FLP add/subtract       4
+Multiplier       1       integer/FLP multiply           5
+                         integer/FLP divide             22
+                         FLP square root                26
+Instruction      1       branch                         3
+===============  ======  =============================  =========
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List
+
+from repro.machine.machine import MachineDescription
+from repro.machine.opcodes import Opcode
+from repro.machine.resources import ReservationTable
+
+#: Cycle offset, after issue, at which a load re-occupies its memory port
+#: for the returning data.  latency 20 => data on the bus at cycle 19.
+LOAD_RETURN_OFFSET = 19
+
+#: Cycles for which a divide blocks the first multiplier stage.
+DIVIDE_BLOCK_CYCLES = 16
+
+#: Cycles for which a square root blocks the first multiplier stage.
+SQRT_BLOCK_CYCLES = 20
+
+
+def _mem_alternatives(kind: str, load_latency: int = 20) -> List[ReservationTable]:
+    """Reservation tables for the two memory ports.
+
+    A load occupies its port on the issue cycle and again when the data
+    returns 19 cycles later — a *complex* table (same resource, two
+    non-contiguous offsets).  Two memory operations on the same port
+    therefore collide not only when issued at the same slot but also when
+    one issues exactly where another's data returns (mod II), which is the
+    kind of pattern that forces the scheduler to iterate.
+    """
+    tables = []
+    for index in (0, 1):
+        port = f"mem_port{index}"
+        if kind == "load" and load_latency >= 2:
+            uses = [(port, 0), (port, load_latency - 1)]
+        else:
+            uses = [(port, 0)]
+        tables.append(ReservationTable(port, uses))
+    return tables
+
+
+def _aalu_alternatives() -> List[ReservationTable]:
+    return [
+        ReservationTable(unit, [(unit, 0)]) for unit in ("aalu0", "aalu1")
+    ]
+
+
+def _adder_table() -> ReservationTable:
+    return ReservationTable(
+        "adder", [("add_stage0", 0), ("add_stage1", 1), ("fp_result_bus", 3)]
+    )
+
+
+def _multiplier_table() -> ReservationTable:
+    return ReservationTable(
+        "multiplier",
+        [("mul_stage0", 0), ("mul_stage1", 1), ("fp_result_bus", 4)],
+    )
+
+
+def _divide_table(block_cycles: int, result_offset: int) -> ReservationTable:
+    uses = [("mul_stage0", t) for t in range(block_cycles)]
+    uses.append(("fp_result_bus", result_offset))
+    return ReservationTable("multiplier", uses)
+
+
+@lru_cache(maxsize=1)
+def cydra5() -> MachineDescription:
+    """Build (once) and return the reconstructed Cydra 5 machine."""
+    return cydra5_variant()
+
+
+@lru_cache(maxsize=None)
+def cydra5_variant(load_latency: int = 20) -> MachineDescription:
+    """A Cydra 5 with a configurable load latency.
+
+    Used by the latency-sensitivity study: the load's data-return port
+    slot moves with the latency (at ``load_latency - 1``), and latencies
+    below 2 degenerate to a simple single-cycle port table.
+    """
+    if load_latency < 1:
+        raise ValueError(f"load latency must be >= 1, got {load_latency}")
+    resources = (
+        "mem_port0",
+        "mem_port1",
+        "aalu0",
+        "aalu1",
+        "add_stage0",
+        "add_stage1",
+        "mul_stage0",
+        "mul_stage1",
+        "fp_result_bus",
+        "iu",
+    )
+    mem_ops = [
+        Opcode("load", load_latency, _mem_alternatives("load", load_latency))
+    ]
+    # Stores take two cycles to commit, which is what gives Table 1's
+    # exact VLIW anti-dependence delay (1 - latency(store) = -1) an edge
+    # over the conservative column's 0.
+    for name in ("store",):
+        mem_ops.append(Opcode(name, 2, _mem_alternatives("store")))
+    for name in (
+        "cmp_lt",
+        "cmp_le",
+        "cmp_eq",
+        "cmp_ne",
+        "cmp_gt",
+        "cmp_ge",
+        "pand",
+        "por",
+        "pnot",
+    ):
+        mem_ops.append(Opcode(name, 2, _mem_alternatives("pred")))
+
+    addr_ops = [
+        Opcode("aadd", 3, _aalu_alternatives(), commutative=True),
+        Opcode("asub", 3, _aalu_alternatives()),
+        Opcode("copy", 3, _aalu_alternatives()),
+        Opcode("limm", 3, _aalu_alternatives()),
+    ]
+
+    adder = _adder_table()
+    add_ops = [
+        Opcode("add", 4, [adder], commutative=True),
+        Opcode("sub", 4, [adder]),
+        Opcode("fadd", 4, [adder], commutative=True),
+        Opcode("fsub", 4, [adder]),
+        Opcode("fmin", 4, [adder], commutative=True),
+        Opcode("fmax", 4, [adder], commutative=True),
+        Opcode("fabs", 4, [adder]),
+        Opcode("fneg", 4, [adder]),
+        Opcode("and", 4, [adder], commutative=True),
+        Opcode("or", 4, [adder], commutative=True),
+        Opcode("xor", 4, [adder], commutative=True),
+        Opcode("shl", 4, [adder]),
+        Opcode("shr", 4, [adder]),
+        Opcode("select", 4, [adder]),
+    ]
+
+    mult = _multiplier_table()
+    mul_ops = [
+        Opcode("mul", 5, [mult], commutative=True),
+        Opcode("fmul", 5, [mult], commutative=True),
+        Opcode("div", 22, [_divide_table(DIVIDE_BLOCK_CYCLES, 21)]),
+        Opcode("fdiv", 22, [_divide_table(DIVIDE_BLOCK_CYCLES, 21)]),
+        Opcode("fsqrt", 26, [_divide_table(SQRT_BLOCK_CYCLES, 25)]),
+    ]
+
+    iu_ops = [Opcode("brtop", 3, [ReservationTable("iu", [("iu", 0)])])]
+
+    name = "cydra5" if load_latency == 20 else f"cydra5_load{load_latency}"
+    return MachineDescription(
+        name, resources, mem_ops + addr_ops + add_ops + mul_ops + iu_ops
+    )

@@ -1,0 +1,115 @@
+"""Machine descriptions: the resource set and opcode repertoire.
+
+A :class:`MachineDescription` is the scheduler's entire view of the target
+processor: which resources exist (pipeline stages, buses, issue slots) and,
+for every opcode, its latency and reservation-table alternatives.  It also
+serves as the *latency provider* for dependence graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Tuple
+
+from repro.machine.opcodes import Opcode
+from repro.machine.resources import ReservationTable, TableKind
+
+
+class MachineError(KeyError):
+    """Raised for unknown opcodes or malformed machine descriptions."""
+
+
+class MachineDescription:
+    """An immutable machine model.
+
+    Parameters
+    ----------
+    name:
+        Model name used in reports.
+    resources:
+        All resource names.  Every reservation table of every opcode must
+        reference only these.
+    opcodes:
+        The opcode repertoire.
+    """
+
+    def __init__(
+        self, name: str, resources: Iterable[str], opcodes: Iterable[Opcode]
+    ) -> None:
+        self.name = name
+        self._resources: Tuple[str, ...] = tuple(resources)
+        if len(set(self._resources)) != len(self._resources):
+            raise MachineError(f"machine {name!r} has duplicate resources")
+        self._opcodes: Dict[str, Opcode] = {}
+        resource_set = set(self._resources)
+        for opcode in opcodes:
+            if opcode.name in self._opcodes:
+                raise MachineError(
+                    f"machine {name!r} defines opcode {opcode.name!r} twice"
+                )
+            for alt in opcode.alternatives:
+                missing = set(alt.resources) - resource_set
+                if missing:
+                    raise MachineError(
+                        f"opcode {opcode.name!r} alternative {alt.name!r} uses "
+                        f"unknown resources {sorted(missing)}"
+                    )
+            self._opcodes[opcode.name] = opcode
+
+    # ------------------------------------------------------------------
+
+    @property
+    def resources(self) -> Tuple[str, ...]:
+        """All resource names, in declaration order."""
+        return self._resources
+
+    @property
+    def opcode_names(self) -> Tuple[str, ...]:
+        """Sorted names of every opcode in the repertoire."""
+        return tuple(sorted(self._opcodes))
+
+    def has_opcode(self, name: str) -> bool:
+        """Whether the machine defines opcode ``name``."""
+        return name in self._opcodes
+
+    def opcode(self, name: str) -> Opcode:
+        """Look up an opcode; raises :class:`MachineError` if unknown."""
+        try:
+            return self._opcodes[name]
+        except KeyError:
+            raise MachineError(
+                f"machine {self.name!r} has no opcode {name!r}"
+            ) from None
+
+    def latency(self, name: str) -> int:
+        """Latency of an opcode (latency-provider protocol for graphs)."""
+        return self.opcode(name).latency
+
+    def alternatives(self, name: str) -> Tuple[ReservationTable, ...]:
+        """The reservation-table alternatives of opcode ``name``."""
+        return self.opcode(name).alternatives
+
+    def table_kind_census(self) -> Dict[TableKind, int]:
+        """Count reservation tables of each kind across the repertoire."""
+        census = {kind: 0 for kind in TableKind}
+        for opcode in self._opcodes.values():
+            for alt in opcode.alternatives:
+                census[alt.kind] += 1
+        return census
+
+    def describe(self) -> str:
+        """Multi-line summary in the spirit of Table 2 of the paper."""
+        lines = [f"Machine {self.name!r}"]
+        lines.append(f"  resources: {', '.join(self._resources)}")
+        for name in sorted(self._opcodes):
+            opcode = self._opcodes[name]
+            alts = ", ".join(a.name for a in opcode.alternatives)
+            lines.append(
+                f"  {name}: latency={opcode.latency}, alternatives=[{alts}]"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MachineDescription({self.name!r}, {len(self._resources)} "
+            f"resources, {len(self._opcodes)} opcodes)"
+        )

@@ -1,0 +1,66 @@
+"""Opcodes: latency plus one reservation-table alternative per functional unit.
+
+An opcode that can execute on several functional units has several
+*alternatives* (Section 2.1).  The alternatives need not be equivalent in
+their resource usage — e.g. on the Cydra 5 a floating-point multiply could
+run on either of two units but divides only on one — and the number of
+alternatives is the opcode's "degrees of freedom", which the ResMII
+heuristic sorts by.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+from repro.machine.resources import ReservationTable
+
+
+@dataclass(frozen=True)
+class Opcode:
+    """A schedulable opcode.
+
+    Attributes
+    ----------
+    name:
+        Opcode mnemonic, e.g. ``"fadd"``.
+    latency:
+        Execution latency in cycles: a flow-dependent consumer may issue
+        ``latency`` cycles after this operation issues.
+    alternatives:
+        One reservation table per functional unit that can execute the
+        opcode.  Must be non-empty.
+    commutative:
+        Whether the first two source operands may be swapped (used by the
+        front end's algebraic simplifications, not by the scheduler).
+    """
+
+    name: str
+    latency: int
+    alternatives: Tuple[ReservationTable, ...]
+    commutative: bool = False
+
+    def __init__(
+        self,
+        name: str,
+        latency: int,
+        alternatives: Iterable[ReservationTable],
+        commutative: bool = False,
+    ) -> None:
+        alts = tuple(alternatives)
+        if not alts:
+            raise ValueError(f"opcode {name!r} has no alternatives")
+        if latency < 0:
+            raise ValueError(f"opcode {name!r} has negative latency")
+        names = [a.name for a in alts]
+        if len(set(names)) != len(names):
+            raise ValueError(f"opcode {name!r} has duplicate alternative names")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "latency", int(latency))
+        object.__setattr__(self, "alternatives", alts)
+        object.__setattr__(self, "commutative", bool(commutative))
+
+    @property
+    def n_alternatives(self) -> int:
+        """Degrees of freedom: the number of functional-unit choices."""
+        return len(self.alternatives)

@@ -1,0 +1,132 @@
+"""Reservation tables (Section 2.1, Figure 1).
+
+A reservation table records, for one opcode alternative, which machine
+resources are used and at which cycle offsets relative to the issue cycle.
+The paper classifies tables into three kinds, in increasing order of
+scheduling difficulty:
+
+* **simple** — a single resource for a single cycle, on the issue cycle;
+* **block** — a single resource for multiple consecutive cycles starting at
+  the issue cycle;
+* **complex** — anything else (several resources, non-contiguous usage,
+  usage not starting at issue).
+
+Block and complex tables are what make iterative (backtracking) scheduling
+necessary in practice.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+class TableKind(enum.Enum):
+    """Classification of a reservation table (Section 2.1)."""
+
+    SIMPLE = "simple"
+    BLOCK = "block"
+    COMPLEX = "complex"
+
+
+@dataclass(frozen=True)
+class ReservationTable:
+    """Resource usage of one opcode alternative.
+
+    Attributes
+    ----------
+    name:
+        Label for the alternative (typically the functional-unit instance,
+        e.g. ``"mem_port0"``).
+    uses:
+        Sorted tuple of ``(resource, offset)`` pairs: resource names and the
+        cycle offsets, relative to issue, at which they are occupied.
+    """
+
+    name: str
+    uses: Tuple[Tuple[str, int], ...]
+
+    def __init__(self, name: str, uses: Iterable[Tuple[str, int]]) -> None:
+        normalized = tuple(sorted((str(r), int(t)) for r, t in uses))
+        if not normalized:
+            raise ValueError(f"reservation table {name!r} uses no resources")
+        seen = set()
+        for resource, offset in normalized:
+            if offset < 0:
+                raise ValueError(
+                    f"reservation table {name!r}: negative offset {offset}"
+                )
+            if (resource, offset) in seen:
+                raise ValueError(
+                    f"reservation table {name!r}: duplicate use of "
+                    f"{resource!r} at offset {offset}"
+                )
+            seen.add((resource, offset))
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "uses", normalized)
+
+    @property
+    def resources(self) -> Tuple[str, ...]:
+        """The distinct resources this table touches, sorted."""
+        return tuple(sorted({r for r, _ in self.uses}))
+
+    @property
+    def span(self) -> int:
+        """Number of cycles from issue to the last resource use, inclusive."""
+        return max(t for _, t in self.uses) + 1
+
+    @property
+    def kind(self) -> TableKind:
+        """Classify the table as simple, block or complex."""
+        resources = {r for r, _ in self.uses}
+        if len(resources) > 1:
+            return TableKind.COMPLEX
+        offsets = sorted(t for _, t in self.uses)
+        if offsets == [0]:
+            return TableKind.SIMPLE
+        if offsets == list(range(len(offsets))):
+            return TableKind.BLOCK
+        return TableKind.COMPLEX
+
+    def usage_count(self) -> Dict[str, int]:
+        """Cycles of use per resource — the quantity ResMII totals up."""
+        counts: Dict[str, int] = {}
+        for resource, _ in self.uses:
+            counts[resource] = counts.get(resource, 0) + 1
+        return counts
+
+    def render(self) -> str:
+        """ASCII rendering in the style of Figure 1 of the paper."""
+        return render_reservation_tables([self])
+
+
+def render_reservation_tables(tables: Sequence[ReservationTable]) -> str:
+    """Render one or more reservation tables side by side, Figure-1 style.
+
+    Each row is a cycle offset; each column a resource; an ``X`` marks a
+    reservation.  Resources are the union across the given tables so that
+    inter-table conflicts (e.g. a shared result bus) are visually aligned.
+    """
+    resources: List[str] = []
+    for table in tables:
+        for resource in table.resources:
+            if resource not in resources:
+                resources.append(resource)
+    depth = max(table.span for table in tables)
+    width = max(len(r) for r in resources)
+    width = max(width, 4)
+    header = "Time  " + "  ".join(r.ljust(width) for r in resources)
+    lines = [header, "-" * len(header)]
+    for offset in range(depth):
+        cells = []
+        for resource in resources:
+            marks = [
+                table.name
+                for table in tables
+                if (resource, offset) in set(table.uses)
+            ]
+            cell = "X" if marks else ""
+            cells.append(cell.ljust(width))
+        lines.append(f"{offset:>4}  " + "  ".join(cells))
+    return "\n".join(lines)

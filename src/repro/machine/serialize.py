@@ -1,0 +1,84 @@
+"""JSON (de)serialization of machine descriptions.
+
+Machine models are plain data — resources, opcodes, latencies,
+reservation tables — so they round-trip losslessly.  This is how a
+downstream user ships a target description alongside serialized graphs
+and schedules (see :mod:`repro.ir.serialize`), or maintains machine
+files outside Python.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from repro.machine.machine import MachineDescription, MachineError
+from repro.machine.opcodes import Opcode
+from repro.machine.resources import ReservationTable
+
+_FORMAT = "repro.machine.v1"
+
+
+def machine_to_dict(machine: MachineDescription) -> Dict[str, Any]:
+    """Serialize a machine description to a JSON-compatible dictionary."""
+    opcodes = []
+    for name in machine.opcode_names:
+        opcode = machine.opcode(name)
+        opcodes.append(
+            {
+                "name": opcode.name,
+                "latency": opcode.latency,
+                "commutative": opcode.commutative,
+                "alternatives": [
+                    {
+                        "name": alternative.name,
+                        "uses": [list(use) for use in alternative.uses],
+                    }
+                    for alternative in opcode.alternatives
+                ],
+            }
+        )
+    return {
+        "format": _FORMAT,
+        "name": machine.name,
+        "resources": list(machine.resources),
+        "opcodes": opcodes,
+    }
+
+
+def machine_from_dict(data: Dict[str, Any]) -> MachineDescription:
+    """Rebuild a machine description from :func:`machine_to_dict` output."""
+    if data.get("format") != _FORMAT:
+        raise MachineError(
+            f"not a serialized machine description: format "
+            f"{data.get('format')!r}"
+        )
+    opcodes = []
+    for record in data["opcodes"]:
+        alternatives = [
+            ReservationTable(
+                alt["name"], [tuple(use) for use in alt["uses"]]
+            )
+            for alt in record["alternatives"]
+        ]
+        opcodes.append(
+            Opcode(
+                record["name"],
+                record["latency"],
+                alternatives,
+                commutative=record.get("commutative", False),
+            )
+        )
+    return MachineDescription(data["name"], data["resources"], opcodes)
+
+
+def machine_to_json(
+    machine: MachineDescription, indent: Optional[int] = None
+) -> str:
+    """Serialize a machine description to JSON text."""
+    return json.dumps(machine_to_dict(machine), indent=indent)
+
+
+def machine_from_json(text: str) -> MachineDescription:
+    """Rebuild a machine description from JSON text."""
+    return machine_from_dict(json.loads(text))

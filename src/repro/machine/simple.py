@@ -1,0 +1,157 @@
+"""Small machine models used by tests, examples and ablation benchmarks.
+
+These machines deliberately span the three reservation-table kinds of
+Section 2.1: :func:`single_alu_machine` and :func:`two_alu_machine` have
+only simple tables, :func:`bus_conflict_machine` reproduces the complex
+tables of Figure 1 exactly, and :func:`superscalar_machine` is a short
+unit-ish-latency machine intended for the conservative delay model.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Sequence
+
+from repro.machine.machine import MachineDescription
+from repro.machine.opcodes import Opcode
+from repro.machine.resources import ReservationTable
+
+#: Opcodes every machine in this module understands.  They mirror the
+#: subset of the Cydra 5 repertoire that the loop front end emits, so a
+#: lowered loop can be retargeted across machines in tests.
+_COMMON_OPCODES = (
+    # name, latency class
+    ("load", "mem"),
+    ("store", "mem"),
+    ("add", "alu"),
+    ("sub", "alu"),
+    ("fadd", "alu"),
+    ("fsub", "alu"),
+    ("fmin", "alu"),
+    ("fmax", "alu"),
+    ("fabs", "alu"),
+    ("fneg", "alu"),
+    ("and", "alu"),
+    ("or", "alu"),
+    ("xor", "alu"),
+    ("shl", "alu"),
+    ("shr", "alu"),
+    ("select", "alu"),
+    ("aadd", "alu"),
+    ("asub", "alu"),
+    ("copy", "alu"),
+    ("limm", "alu"),
+    ("mul", "mul"),
+    ("fmul", "mul"),
+    ("div", "div"),
+    ("fdiv", "div"),
+    ("fsqrt", "div"),
+    ("cmp_lt", "alu"),
+    ("cmp_le", "alu"),
+    ("cmp_eq", "alu"),
+    ("cmp_ne", "alu"),
+    ("cmp_gt", "alu"),
+    ("cmp_ge", "alu"),
+    ("pand", "alu"),
+    ("por", "alu"),
+    ("pnot", "alu"),
+    ("brtop", "alu"),
+)
+
+
+def _simple_alts(units: Sequence[str]) -> List[ReservationTable]:
+    return [ReservationTable(unit, [(unit, 0)]) for unit in units]
+
+
+def _uniform_machine(
+    name: str, units: Sequence[str], latencies: dict
+) -> MachineDescription:
+    """A machine where every opcode runs on every unit with a simple table."""
+    opcodes = [
+        Opcode(op, latencies[cls], _simple_alts(units))
+        for op, cls in _COMMON_OPCODES
+    ]
+    return MachineDescription(name, tuple(units), opcodes)
+
+
+@lru_cache(maxsize=1)
+def single_alu_machine() -> MachineDescription:
+    """One universal ALU; every opcode uses it for one cycle at issue.
+
+    With a single resource and simple tables, ResMII equals the operation
+    count and schedules are easy to reason about by hand, which makes this
+    the machine of choice for deterministic unit tests.
+    """
+    latencies = {"mem": 2, "alu": 1, "mul": 3, "div": 8}
+    return _uniform_machine("single_alu", ("alu",), latencies)
+
+
+@lru_cache(maxsize=1)
+def two_alu_machine() -> MachineDescription:
+    """Two universal ALUs; every opcode has two simple alternatives."""
+    latencies = {"mem": 3, "alu": 1, "mul": 3, "div": 8}
+    return _uniform_machine("two_alu", ("alu0", "alu1"), latencies)
+
+
+@lru_cache(maxsize=1)
+def superscalar_machine() -> MachineDescription:
+    """Four universal units with short latencies.
+
+    Intended to be paired with :class:`repro.ir.DelayModel.CONSERVATIVE`,
+    mimicking a superscalar whose latencies are not architecturally exposed.
+    """
+    latencies = {"mem": 2, "alu": 1, "mul": 2, "div": 4}
+    return _uniform_machine(
+        "superscalar", ("u0", "u1", "u2", "u3"), latencies
+    )
+
+
+@lru_cache(maxsize=1)
+def bus_conflict_machine() -> MachineDescription:
+    """The machine of Figure 1: shared source and result buses.
+
+    An add and a multiply cannot issue in the same cycle (source-bus
+    collision) and an add may not issue two cycles after a multiply
+    (result-bus collision), exactly as the paper's Figure 1 describes.
+    Only ``fadd``-class and ``fmul``-class opcodes exist here.
+    """
+    resources = (
+        "src_bus0",
+        "src_bus1",
+        "alu_stage0",
+        "alu_stage1",
+        "mul_stage0",
+        "mul_stage1",
+        "mul_stage2",
+        "result_bus",
+    )
+    add_table = ReservationTable(
+        "alu",
+        [
+            ("src_bus0", 0),
+            ("src_bus1", 0),
+            ("alu_stage0", 1),
+            ("alu_stage1", 2),
+            ("result_bus", 3),
+        ],
+    )
+    mul_table = ReservationTable(
+        "multiplier",
+        [
+            ("src_bus0", 0),
+            ("src_bus1", 0),
+            ("mul_stage0", 1),
+            ("mul_stage1", 2),
+            ("mul_stage2", 3),
+            ("result_bus", 4),
+        ],
+    )
+    opcodes = [
+        Opcode("fadd", 4, [add_table], commutative=True),
+        Opcode("fsub", 4, [add_table]),
+        Opcode("add", 4, [add_table], commutative=True),
+        Opcode("sub", 4, [add_table]),
+        Opcode("fmul", 5, [mul_table], commutative=True),
+        Opcode("mul", 5, [mul_table], commutative=True),
+    ]
+    return MachineDescription("bus_conflict", resources, opcodes)

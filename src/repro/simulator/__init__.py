@@ -1,0 +1,31 @@
+"""Execution substrate: sequential reference and pipelined simulation.
+
+The modulo scheduler's output is verified *end-to-end* by executing it:
+
+* :mod:`repro.simulator.state` — the machine-visible state: arrays (with a
+  halo for ``i +/- c`` subscripts) and scalars;
+* :mod:`repro.simulator.reference` — a direct interpreter of the loop AST,
+  the independent oracle;
+* :mod:`repro.simulator.pipeline` — executes a schedule with iteration
+  ``k`` issuing at ``k * II + time(op)``: loads sample memory at their
+  issue cycle and stores commit one cycle later, in global time order, so
+  a missing or mis-distanced memory dependence edge produces a *different
+  answer* rather than going unnoticed;
+* :func:`check_equivalence` — runs both and compares the final state.
+"""
+
+from repro.simulator.state import ArrayStore, LoopState, make_initial_state
+from repro.simulator.reference import run_reference
+from repro.simulator.pipeline import run_pipelined, SimulationError
+from repro.simulator.check import check_equivalence, EquivalenceReport
+
+__all__ = [
+    "ArrayStore",
+    "LoopState",
+    "make_initial_state",
+    "run_reference",
+    "run_pipelined",
+    "SimulationError",
+    "check_equivalence",
+    "EquivalenceReport",
+]

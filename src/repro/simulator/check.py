@@ -1,0 +1,60 @@
+"""End-to-end equivalence: pipelined execution versus the sequential oracle."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.schedule import Schedule
+from repro.loopir.lower import LoweredLoop
+from repro.simulator.pipeline import run_pipelined
+from repro.simulator.reference import run_reference
+from repro.simulator.state import LoopState, make_initial_state
+
+
+@dataclass
+class EquivalenceReport:
+    """Result of one equivalence check."""
+
+    loop_name: str
+    n: int
+    ii: int
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when the two executions produced identical state."""
+        return not self.problems
+
+    def describe(self) -> str:
+        """One-line verdict plus the first mismatches, if any."""
+        status = "OK" if self.ok else f"{len(self.problems)} mismatches"
+        head = f"{self.loop_name}: n={self.n}, II={self.ii}: {status}"
+        if self.ok:
+            return head
+        return head + "\n  " + "\n  ".join(self.problems[:20])
+
+
+def check_equivalence(
+    lowered: LoweredLoop,
+    schedule: Schedule,
+    n: int = 40,
+    seed: int = 0,
+    state: Optional[LoopState] = None,
+) -> EquivalenceReport:
+    """Run both executors from the same initial state and diff the results.
+
+    The initial state is random but seeded (see
+    :func:`repro.simulator.state.make_initial_state`) unless one is
+    supplied; the supplied state is not mutated.
+    """
+    if state is None:
+        state = make_initial_state(lowered, n, seed)
+    reference = run_reference(lowered.loop, state.copy(), n)
+    pipelined = run_pipelined(lowered, schedule, state.copy(), n)
+    return EquivalenceReport(
+        loop_name=lowered.loop.name,
+        n=n,
+        ii=schedule.ii,
+        problems=reference.differences(pipelined),
+    )

@@ -1,0 +1,117 @@
+"""ASCII visualization of modulo schedules and pipelined execution.
+
+Three views, all plain text so they render anywhere:
+
+* :func:`resource_gantt` — the kernel as a resource x modulo-slot grid:
+  which operation holds which resource at each slot (the schedule
+  reservation table made visible, Figure-1 style);
+* :func:`pipeline_diagram` — iterations x time: the classic software
+  pipelining picture with the prologue ramp, steady state and epilogue
+  drain;
+* :func:`lifetime_chart` — value lifetimes against the II grid, which
+  makes register pressure and the need for modulo variable expansion
+  visible at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.codegen.lifetimes import compute_lifetimes
+from repro.core.schedule import Schedule
+from repro.ir.graph import DependenceGraph
+
+
+def resource_gantt(
+    graph: DependenceGraph, machine, schedule: Schedule
+) -> str:
+    """Render the kernel occupancy: resources as columns, slots as rows."""
+    ii = schedule.ii
+    cells: Dict[tuple, str] = {}
+    for operation in graph.real_operations():
+        alternative = schedule.alternatives.get(operation.index)
+        if alternative is None:
+            continue
+        start = schedule.times[operation.index]
+        for resource, offset in alternative.uses:
+            cells[(resource, (start + offset) % ii)] = f"op{operation.index}"
+    resources = [r for r in machine.resources if any(
+        key[0] == r for key in cells
+    )]
+    if not resources:
+        return "(no resources in use)"
+    width = max(max(len(r) for r in resources), 5)
+    header = "slot  " + "  ".join(r.ljust(width) for r in resources)
+    lines = [header, "-" * len(header)]
+    for slot in range(ii):
+        row = [
+            cells.get((resource, slot), "").ljust(width)
+            for resource in resources
+        ]
+        lines.append(f"{slot:>4}  " + "  ".join(row))
+    return "\n".join(lines)
+
+
+def pipeline_diagram(
+    graph: DependenceGraph,
+    schedule: Schedule,
+    iterations: int = 6,
+    max_cycles: Optional[int] = None,
+) -> str:
+    """The iterations-vs-time picture of the software pipeline.
+
+    Each row is one loop iteration; each column one cycle; a digit marks
+    how many operations of that iteration issue that cycle.  The staircase
+    offset between rows is the II.
+    """
+    ii = schedule.ii
+    sl = schedule.schedule_length
+    if max_cycles is None:
+        max_cycles = (iterations - 1) * ii + sl + 1
+    issue_counts: Dict[int, int] = {}
+    for operation in graph.real_operations():
+        t = schedule.times[operation.index]
+        issue_counts[t] = issue_counts.get(t, 0) + 1
+    lines = [
+        f"II={ii}, SL={sl}: one row per iteration, one column per cycle"
+    ]
+    for k in range(iterations):
+        row = []
+        for cycle in range(max_cycles):
+            local = cycle - k * ii
+            if 0 <= local <= sl and local in issue_counts:
+                count = issue_counts[local]
+                row.append(str(count) if count < 10 else "+")
+            elif 0 <= local <= sl:
+                row.append("-")
+            else:
+                row.append(" ")
+        lines.append(f"iter {k:>2} |" + "".join(row) + "|")
+    return "\n".join(lines)
+
+
+def lifetime_chart(graph: DependenceGraph, schedule: Schedule) -> str:
+    """Value lifetimes drawn against the schedule, with II grid marks."""
+    lifetimes = compute_lifetimes(graph, schedule)
+    if not lifetimes:
+        return "(no values)"
+    horizon = max(l.end for l in lifetimes.values()) + 1
+    ii = schedule.ii
+    ruler = "".join("|" if t % ii == 0 else "." for t in range(horizon))
+    lines = [f"II={ii} (bars every II cycles)", " " * 12 + ruler]
+    for op in sorted(lifetimes):
+        lifetime = lifetimes[op]
+        opcode = graph.operation(op).opcode
+        row = []
+        for t in range(horizon):
+            if t == lifetime.start:
+                row.append("D")
+            elif lifetime.start < t < lifetime.end:
+                row.append("=")
+            elif t == lifetime.end:
+                row.append(">")
+            else:
+                row.append(" ")
+        label = f"op{op} {opcode}"[:11]
+        lines.append(f"{label:<12}" + "".join(row))
+    return "\n".join(lines)

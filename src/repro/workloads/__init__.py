@@ -1,0 +1,39 @@
+"""The loop corpus: the stand-in for the paper's 1327 benchmark loops.
+
+The paper fed 1327 Fortran innermost loops (Perfect Club, SPEC, Livermore
+Fortran Kernels) through the Cydra 5 compiler.  Those inputs are not
+available, so this package substitutes (see DESIGN.md):
+
+* :mod:`repro.workloads.kernels` — ~40 hand-written loops in the DSL
+  (Livermore-kernel style, BLAS-1/2 fragments, stencils, recurrences,
+  predicated loops) with *real semantics*, compiled by the front end and
+  verified end-to-end on the simulator;
+* :mod:`repro.workloads.synthetic` — a random dependence-graph generator
+  calibrated to the paper's Table 3 distribution statistics (operation
+  counts, SCC frequency and sizes, opcode mix), used to scale the corpus
+  to the paper's size for the scheduling statistics;
+* :mod:`repro.workloads.corpus` — assembly of the full 1327-loop corpus
+  plus the synthetic execution profile (EntryFreq / LoopFreq) used by the
+  execution-time metric.
+"""
+
+from repro.workloads.kernels import (
+    KERNELS,
+    KernelSpec,
+    kernel_names,
+    kernel_source,
+)
+from repro.workloads.synthetic import SyntheticConfig, synthetic_graph
+from repro.workloads.corpus import CorpusLoop, build_corpus, paper_sized_corpus
+
+__all__ = [
+    "KERNELS",
+    "KernelSpec",
+    "kernel_names",
+    "kernel_source",
+    "SyntheticConfig",
+    "synthetic_graph",
+    "CorpusLoop",
+    "build_corpus",
+    "paper_sized_corpus",
+]

@@ -1,0 +1,725 @@
+"""Hand-written DSL kernels with real semantics.
+
+These loops are in the style of the paper's sources: the Livermore Fortran
+Kernels (adapted to one-dimensional form where the original is 2-D), BLAS-1
+and BLAS-2 fragments, stencils, linear recurrences, and IF-heavy loops from
+the Perfect-Club/SPEC mold.  Every kernel compiles through the front end
+and is verified end-to-end against the sequential oracle in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """A named DSL kernel.
+
+    Attributes
+    ----------
+    name:
+        Unique kernel name.
+    source:
+        DSL text.
+    category:
+        Rough provenance label: ``lfk`` (Livermore-style), ``blas``,
+        ``stencil``, ``recurrence``, ``predicated``, ``mixed``,
+        ``irregular`` (indirect gather/scatter access).
+    trip:
+        A representative trip count, used by the synthetic profile.
+    """
+
+    name: str
+    source: str
+    category: str
+    trip: int = 100
+
+
+_RAW: List[KernelSpec] = [
+    # ------------------------------------------------------------------
+    # Livermore-kernel style (adapted to single-subscript form)
+    # ------------------------------------------------------------------
+    KernelSpec(
+        "lfk1_hydro",
+        """
+for k in n:
+    x[k] = q + y[k] * (r * z[k+10] + t * z[k+11])
+""",
+        "lfk",
+        400,
+    ),
+    KernelSpec(
+        "lfk2_iccg_like",
+        """
+for i in n:
+    x[i] = x[i] - z[i] * x[i+4] - z[i+1] * x[i+5]
+""",
+        "lfk",
+        200,
+    ),
+    KernelSpec(
+        "lfk3_inner_product",
+        """
+for k in n:
+    q = q + z[k] * x[k]
+""",
+        "lfk",
+        1000,
+    ),
+    KernelSpec(
+        "lfk4_banded_like",
+        """
+for k in n:
+    q = q - x[k] * y[k+3] - x[k+1] * y[k+2]
+""",
+        "lfk",
+        300,
+    ),
+    KernelSpec(
+        "lfk5_tridiag",
+        """
+for i in n:
+    x[i] = z[i] * (y[i] - x[i-1])
+""",
+        "lfk",
+        1000,
+    ),
+    KernelSpec(
+        "lfk6_recurrence",
+        """
+for i in n:
+    w = w + b[i] * w
+""",
+        "lfk",
+        60,
+    ),
+    KernelSpec(
+        "lfk7_state_eq",
+        """
+for k in n:
+    x[k] = u[k] + r * (z[k] + r * y[k]) + t * (u[k+3] + r * (u[k+2] + r * u[k+1]) + t * (u[k+6] + q * (u[k+5] + q * u[k+4])))
+""",
+        "lfk",
+        120,
+    ),
+    KernelSpec(
+        "lfk9_integrate",
+        """
+for i in n:
+    px[i] = dm28 * px[i+12] + dm27 * px[i+11] + dm26 * px[i+10] + dm25 * px[i+9] + dm24 * px[i+8] + dm23 * px[i+7] + dm22 * px[i+6] + c0 * (px[i+4] + px[i+5]) + px[i+2]
+""",
+        "lfk",
+        100,
+    ),
+    KernelSpec(
+        "lfk10_difference",
+        """
+for i in n:
+    ar = cx[i+4]
+    br = ar - px[i+4]
+    px[i+4] = ar
+    cr = br - px[i+5]
+    px[i+5] = br
+    px[i+6] = cr - px[i+6]
+""",
+        "lfk",
+        100,
+    ),
+    KernelSpec(
+        "lfk11_first_sum",
+        """
+for k in n:
+    x[k] = x[k-1] + y[k]
+""",
+        "lfk",
+        1000,
+    ),
+    KernelSpec(
+        "lfk12_first_diff",
+        """
+for k in n:
+    x[k] = y[k+1] - y[k]
+""",
+        "lfk",
+        1000,
+    ),
+    KernelSpec(
+        "lfk22_planckian",
+        """
+for k in n:
+    y[k] = u[k] / v[k]
+    w[k] = x[k] / (2.0 * y[k] + 1.0)
+""",
+        "lfk",
+        100,
+    ),
+    # ------------------------------------------------------------------
+    # BLAS-1 / BLAS-2 fragments
+    # ------------------------------------------------------------------
+    KernelSpec(
+        "saxpy",
+        """
+for i in n:
+    y[i] = y[i] + alpha * x[i]
+""",
+        "blas",
+        1000,
+    ),
+    KernelSpec(
+        "sdot",
+        """
+for i in n:
+    s = s + x[i] * y[i]
+""",
+        "blas",
+        1000,
+    ),
+    KernelSpec(
+        "sscal",
+        """
+for i in n:
+    x[i] = alpha * x[i]
+""",
+        "blas",
+        1000,
+    ),
+    KernelSpec(
+        "scopy",
+        """
+for i in n:
+    y[i] = x[i]
+""",
+        "blas",
+        1000,
+    ),
+    KernelSpec(
+        "srot",
+        """
+for i in n:
+    t = c * x[i] + s * y[i]
+    y[i] = c * y[i] - s * x[i]
+    x[i] = t
+""",
+        "blas",
+        500,
+    ),
+    KernelSpec(
+        "gemv_row",
+        """
+for j in n:
+    acc = acc + a[j] * x[j]
+""",
+        "blas",
+        200,
+    ),
+    KernelSpec(
+        "ger_update",
+        """
+for j in n:
+    a[j] = a[j] + alpha * x0 * y[j]
+""",
+        "blas",
+        200,
+    ),
+    KernelSpec(
+        "snrm2_ssq",
+        """
+for i in n:
+    s = s + x[i] * x[i]
+""",
+        "blas",
+        1000,
+    ),
+    KernelSpec(
+        "sasum_abs",
+        """
+for i in n:
+    s = s + abs(x[i])
+""",
+        "blas",
+        1000,
+    ),
+    # ------------------------------------------------------------------
+    # Stencils
+    # ------------------------------------------------------------------
+    KernelSpec(
+        "stencil3",
+        """
+for i in n:
+    b[i] = w0 * a[i-1] + w1 * a[i] + w2 * a[i+1]
+""",
+        "stencil",
+        500,
+    ),
+    KernelSpec(
+        "stencil5",
+        """
+for i in n:
+    b[i] = 0.0625 * (a[i-2] + a[i+2]) + 0.25 * (a[i-1] + a[i+1]) + 0.375 * a[i]
+""",
+        "stencil",
+        500,
+    ),
+    KernelSpec(
+        "jacobi_sweep",
+        """
+for i in n:
+    xnew[i] = 0.5 * (x[i-1] + x[i+1]) - 0.5 * h2 * f[i]
+""",
+        "stencil",
+        400,
+    ),
+    KernelSpec(
+        "gauss_seidel",
+        """
+for i in n:
+    x[i] = 0.5 * (x[i-1] + x[i+1]) - 0.5 * h2 * f[i]
+""",
+        "stencil",
+        400,
+    ),
+    KernelSpec(
+        "wave_update",
+        """
+for i in n:
+    unew[i] = 2.0 * u[i] - uold[i] + c2 * (u[i+1] - 2.0 * u[i] + u[i-1])
+""",
+        "stencil",
+        300,
+    ),
+    # ------------------------------------------------------------------
+    # Recurrences
+    # ------------------------------------------------------------------
+    KernelSpec(
+        "prefix_product",
+        """
+for i in n:
+    p = p * (1.0 + r * x[i])
+    y[i] = p
+""",
+        "recurrence",
+        200,
+    ),
+    KernelSpec(
+        "iir_filter1",
+        """
+for i in n:
+    s = a0 * x[i] + b1 * s
+    y[i] = s
+""",
+        "recurrence",
+        400,
+    ),
+    KernelSpec(
+        "iir_filter2",
+        """
+for i in n:
+    y[i] = a0 * x[i] + b1 * y[i-1] + b2 * y[i-2]
+""",
+        "recurrence",
+        400,
+    ),
+    KernelSpec(
+        "horner_scan",
+        """
+for i in n:
+    acc = acc * t + c[i]
+""",
+        "recurrence",
+        60,
+    ),
+    KernelSpec(
+        "exp_smooth",
+        """
+for i in n:
+    m = m + alpha * (x[i] - m)
+    y[i] = m
+""",
+        "recurrence",
+        400,
+    ),
+    KernelSpec(
+        "two_accumulators",
+        """
+for i in n:
+    even = even + x[i] * w0
+    odd = odd + x[i+1] * w1
+""",
+        "recurrence",
+        500,
+    ),
+    # ------------------------------------------------------------------
+    # Predicated / IF-heavy loops
+    # ------------------------------------------------------------------
+    KernelSpec(
+        "clip",
+        """
+for i in n:
+    t = x[i]
+    if t > hi:
+        t = hi
+    if t < lo:
+        t = lo
+    y[i] = t
+""",
+        "predicated",
+        400,
+    ),
+    KernelSpec(
+        "abs_sum_signs",
+        """
+for i in n:
+    if x[i] >= 0.0:
+        pos = pos + x[i]
+    else:
+        neg = neg + x[i]
+""",
+        "predicated",
+        400,
+    ),
+    KernelSpec(
+        "threshold_store",
+        """
+for i in n:
+    t = a[i] - b[i]
+    if abs(t) > eps:
+        c[i] = t
+""",
+        "predicated",
+        300,
+    ),
+    KernelSpec(
+        "minmax_track",
+        """
+for i in n:
+    lo2 = min(lo2, x[i])
+    hi2 = max(hi2, x[i])
+""",
+        "predicated",
+        500,
+    ),
+    KernelSpec(
+        "deadband",
+        """
+for i in n:
+    t = x[i]
+    if t > -band and t < band:
+        t = 0.0
+    y[i] = t
+""",
+        "predicated",
+        300,
+    ),
+    KernelSpec(
+        "select_chain",
+        """
+for i in n:
+    t = a[i]
+    if t > c1:
+        u = t * s1
+    else:
+        if t > c2:
+            u = t * s2
+        else:
+            u = t * s3
+    b[i] = u
+""",
+        "predicated",
+        300,
+    ),
+    # ------------------------------------------------------------------
+    # Mixed / long-latency
+    # ------------------------------------------------------------------
+    KernelSpec(
+        "normalize",
+        """
+for i in n:
+    y[i] = x[i] / norm
+""",
+        "mixed",
+        300,
+    ),
+    KernelSpec(
+        "rsqrt_scale",
+        """
+for i in n:
+    y[i] = x[i] / sqrt(a[i] + eps)
+""",
+        "mixed",
+        200,
+    ),
+    KernelSpec(
+        "distance",
+        """
+for i in n:
+    dx = x1[i] - x2[i]
+    dy = y1[i] - y2[i]
+    d[i] = sqrt(dx * dx + dy * dy)
+""",
+        "mixed",
+        200,
+    ),
+    KernelSpec(
+        "harmonic_sum",
+        """
+for i in n:
+    s = s + 1.0 / w[i]
+""",
+        "mixed",
+        100,
+    ),
+    KernelSpec(
+        "lerp",
+        """
+for i in n:
+    y[i] = a[i] + t * (b[i] - a[i])
+""",
+        "mixed",
+        500,
+    ),
+    KernelSpec(
+        "fused_update",
+        """
+for i in n:
+    g = grad[i] + wd * w[i]
+    m = beta * m + g
+    w[i] = w[i] - lr * m
+""",
+        "mixed",
+        300,
+    ),
+    KernelSpec(
+        "shift_store",
+        """
+for i in n:
+    a[i+2] = a[i] * decay + src[i]
+""",
+        "mixed",
+        200,
+    ),
+    KernelSpec(
+        "polyval4",
+        """
+for i in n:
+    t = x[i]
+    y[i] = c0 + t * (c1 + t * (c2 + t * (c3 + t * c4)))
+""",
+        "mixed",
+        300,
+    ),
+    # ------------------------------------------------------------------
+    # Signal processing / numerics round 2
+    # ------------------------------------------------------------------
+    KernelSpec(
+        "fir4",
+        """
+for i in n:
+    y[i] = h0 * x[i] + h1 * x[i+1] + h2 * x[i+2] + h3 * x[i+3]
+""",
+        "lfk",
+        400,
+    ),
+    KernelSpec(
+        "biquad_df2",
+        """
+for i in n:
+    w = x[i] - a1 * w1 - a2 * w2
+    y[i] = b0 * w + b1 * w1 + b2 * w2
+    w2 = w1
+    w1 = w
+""",
+        "recurrence",
+        300,
+    ),
+    KernelSpec(
+        "complex_mul",
+        """
+for i in n:
+    cr[i] = ar[i] * br[i] - ai[i] * bi[i]
+    ci[i] = ar[i] * bi[i] + ai[i] * br[i]
+""",
+        "mixed",
+        300,
+    ),
+    KernelSpec(
+        "magnitude2",
+        """
+for i in n:
+    m[i] = re[i] * re[i] + im[i] * im[i]
+""",
+        "mixed",
+        400,
+    ),
+    KernelSpec(
+        "euler_step",
+        """
+for i in n:
+    v[i] = v[i] + dt * f[i]
+    p[i] = p[i] + dt * v[i]
+""",
+        "stencil",
+        300,
+    ),
+    KernelSpec(
+        "relu_scale",
+        """
+for i in n:
+    t = x[i] * g
+    y[i] = max(t, 0.0)
+""",
+        "predicated",
+        500,
+    ),
+    KernelSpec(
+        "softshrink",
+        """
+for i in n:
+    t = x[i]
+    if t > lam:
+        y[i] = t - lam
+    else:
+        if t < -lam:
+            y[i] = t + lam
+        else:
+            y[i] = 0.0
+""",
+        "predicated",
+        300,
+    ),
+    KernelSpec(
+        "running_extrema_window",
+        """
+for i in n:
+    hiw = max(max(x[i], x[i+1]), x[i+2])
+    low = min(min(x[i], x[i+1]), x[i+2])
+    r[i] = hiw - low
+""",
+        "predicated",
+        300,
+    ),
+    KernelSpec(
+        "dot_unrolled2",
+        """
+for i in n:
+    s0 = s0 + a[i] * b[i]
+    s1 = s1 + c[i] * d[i]
+""",
+        "blas",
+        500,
+    ),
+    KernelSpec(
+        "triad_offset",
+        """
+for i in n:
+    a[i] = b[i+1] + q * c[i-1]
+""",
+        "blas",
+        500,
+    ),
+    KernelSpec(
+        "wavefront_like",
+        """
+for i in n:
+    x[i] = 0.5 * (x[i-1] + y[i]) / (1.0 + z[i])
+""",
+        "recurrence",
+        200,
+    ),
+    KernelSpec(
+        "checksum_mix",
+        """
+for i in n:
+    acc = acc * 31.0 + d[i]
+""",
+        "recurrence",
+        100,
+    ),
+    KernelSpec(
+        "geometric_decay",
+        """
+for i in n:
+    g = g * rho
+    y[i] = y[i] + g * x[i]
+""",
+        "recurrence",
+        300,
+    ),
+    KernelSpec(
+        "masked_divide",
+        """
+for i in n:
+    if b[i] > eps or b[i] < -eps:
+        q[i] = a[i] / b[i]
+    else:
+        q[i] = 0.0
+""",
+        "predicated",
+        200,
+    ),
+    # ------------------------------------------------------------------
+    # Irregular (indirect) access: gathers, scatters, histograms
+    # ------------------------------------------------------------------
+    KernelSpec(
+        "histogram",
+        """
+for i in n:
+    h[bin1[i]] = h[bin1[i]] + w[i]
+""",
+        "irregular",
+        300,
+    ),
+    KernelSpec(
+        "gather_scale",
+        """
+for i in n:
+    y[i] = g * x[perm[i]]
+""",
+        "irregular",
+        400,
+    ),
+    KernelSpec(
+        "scatter_update",
+        """
+for i in n:
+    out[sel[i]] = v[i] + base
+""",
+        "irregular",
+        300,
+    ),
+    KernelSpec(
+        "table_lookup_sum",
+        """
+for i in n:
+    s = s + lut[key[i]] * w[i]
+""",
+        "irregular",
+        300,
+    ),
+    KernelSpec(
+        "bilinear_mix",
+        """
+for i in n:
+    out[i] = w00 * p0[i] + w01 * p0[i+1] + w10 * p1[i] + w11 * p1[i+1]
+""",
+        "stencil",
+        300,
+    ),
+]
+
+
+KERNELS: Dict[str, KernelSpec] = {spec.name: spec for spec in _RAW}
+
+if len(KERNELS) != len(_RAW):
+    raise AssertionError("duplicate kernel names in the registry")
+
+
+def kernel_names() -> List[str]:
+    """All kernel names, sorted."""
+    return sorted(KERNELS)
+
+
+def kernel_source(name: str) -> str:
+    """DSL text of a kernel, by name."""
+    return KERNELS[name].source

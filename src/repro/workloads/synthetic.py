@@ -1,0 +1,191 @@
+"""Synthetic dependence-graph generator calibrated to Table 3.
+
+The paper's corpus is private, but its Section 4.2 publishes the
+distribution statistics that matter to the scheduler: operation counts
+(median 12, mean 19.5, max 163, skewed toward small loops), the fraction
+of loops with no non-trivial SCC (77%), SCC sizes (93% singletons, long
+thin tail), and the prevalence of trivial address-increment recurrences.
+This generator draws graphs matching those shapes:
+
+* operation count from a clamped log-normal (median ~12, mean ~19.5);
+* a program-ordered DAG of arithmetic/memory operations with short-range
+  flow edges (operand fan-in 1-2, as real expression trees have);
+* one trivial ``aadd`` address recurrence per "array" (a distance-1
+  self-loop — the paper's "typically the add that increments an address");
+* with calibrated probability, one or more non-trivial SCCs built by
+  closing a dependence chain with a distance-1..2 back edge;
+* a loop-closing ``brtop``.
+
+The graphs carry no executable semantics (no ``operands`` descriptors) —
+they exist to exercise scheduling, not simulation; the hand-written DSL
+kernels cover semantic verification.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.ir.edges import DependenceKind
+from repro.ir.graph import DependenceGraph
+
+#: Opcode mix for the DAG portion, loosely matching scientific loop bodies
+#: compiled for the Cydra 5 (memory traffic heavy, adds over multiplies,
+#: rare divides/square roots, a sprinkle of predicate definitions).
+_OPCODE_WEIGHTS: Sequence[Tuple[str, float]] = (
+    ("load", 0.22),
+    ("store", 0.09),
+    ("fadd", 0.17),
+    ("fsub", 0.07),
+    ("fmul", 0.13),
+    ("fdiv", 0.015),
+    ("fsqrt", 0.005),
+    ("cmp_lt", 0.03),
+    ("cmp_ge", 0.02),
+    ("select", 0.04),
+    ("copy", 0.05),
+    ("aadd", 0.08),
+    ("fmin", 0.02),
+    ("fmax", 0.02),
+    ("fneg", 0.02),
+    ("fabs", 0.02),
+)
+
+
+@dataclass
+class SyntheticConfig:
+    """Knobs for the generator; defaults reproduce Table 3's shapes."""
+
+    min_ops: int = 4
+    max_ops: int = 163
+    #: log-normal parameters for the op count: median = exp(mu) ~ 12,
+    #: mean = exp(mu + sigma^2/2) ~ 19.5.
+    log_mu: float = 2.48
+    log_sigma: float = 0.97
+    #: fraction of loops containing at least one non-trivial SCC (the
+    #: paper: 1 - 0.773).
+    p_recurrent: float = 0.227
+    #: geometric tail for extra SCCs in a recurrent loop (max observed: 6).
+    p_extra_scc: float = 0.25
+    max_sccs: int = 6
+    #: SCC size: 2 + geometric, clamped (paper max: 42 nodes).
+    p_scc_growth: float = 0.55
+    max_scc_size: int = 42
+    #: operand fan-in window: how far back a flow edge may reach.
+    fanin_window: int = 12
+    #: probability that a non-first op takes a second operand edge.
+    p_second_operand: float = 0.55
+    #: address-increment recurrences per loop: 1 + binomial-ish extras.
+    max_address_recurrences: int = 4
+
+
+def _sample_op_count(rng: random.Random, config: SyntheticConfig) -> int:
+    value = int(round(rng.lognormvariate(config.log_mu, config.log_sigma)))
+    return max(config.min_ops, min(config.max_ops, value))
+
+
+def _pick_opcode(rng: random.Random) -> str:
+    roll = rng.random()
+    acc = 0.0
+    for opcode, weight in _OPCODE_WEIGHTS:
+        acc += weight
+        if roll < acc:
+            return opcode
+    return "fadd"
+
+
+def synthetic_graph(
+    machine,
+    seed: int,
+    config: Optional[SyntheticConfig] = None,
+    name: Optional[str] = None,
+) -> DependenceGraph:
+    """Generate one random, sealed dependence graph for ``machine``."""
+    config = config or SyntheticConfig()
+    rng = random.Random(seed)
+    graph = DependenceGraph(machine, name=name or f"synthetic{seed}")
+
+    total = _sample_op_count(rng, config)
+    # Address recurrences: trivial SCCs with a reflexive distance-1 edge.
+    n_address = min(
+        1 + rng.randrange(config.max_address_recurrences), max(1, total // 5)
+    )
+    address_ops: List[int] = []
+    for index in range(n_address):
+        op = graph.add_operation("aadd", dest=f"&a{index}", role="address")
+        graph.add_edge(op, op, DependenceKind.FLOW, distance=1)
+        address_ops.append(op)
+
+    body_ops: List[int] = []
+    n_body = max(2, total - n_address - 1)  # reserve one slot for brtop
+    for index in range(n_body):
+        opcode = _pick_opcode(rng)
+        dest = None if opcode == "store" else f"v{index}"
+        op = graph.add_operation(opcode, dest=dest)
+        # Wire operand flow edges to recent producers (expression-tree
+        # locality) or, for memory operations, to an address recurrence.
+        if opcode in ("load", "store"):
+            graph.add_edge(
+                rng.choice(address_ops), op, DependenceKind.FLOW, distance=1
+            )
+        producers = [
+            p for p in body_ops[-config.fanin_window :]
+            if graph.operation(p).dest is not None
+        ]
+        if producers and opcode != "load":
+            graph.add_edge(rng.choice(producers), op, DependenceKind.FLOW)
+            if len(producers) > 1 and rng.random() < config.p_second_operand:
+                graph.add_edge(rng.choice(producers), op, DependenceKind.FLOW)
+        body_ops.append(op)
+
+    # Occasional memory anti/output edges between stores and loads, as the
+    # dependence analyzer would produce for overlapping array windows.
+    stores = [op for op in body_ops if graph.operation(op).opcode == "store"]
+    loads = [op for op in body_ops if graph.operation(op).opcode == "load"]
+    for store in stores:
+        if loads and rng.random() < 0.35:
+            load = rng.choice(loads)
+            distance = rng.randrange(0, 3)
+            if load < store:
+                graph.add_edge(
+                    load, store, DependenceKind.ANTI, distance=distance
+                )
+            elif distance > 0:
+                graph.add_edge(
+                    store, load, DependenceKind.FLOW, distance=distance
+                )
+
+    # Non-trivial SCCs: close a chain of existing operations.
+    if rng.random() < config.p_recurrent and len(body_ops) >= 2:
+        n_sccs = 1
+        while n_sccs < config.max_sccs and rng.random() < config.p_extra_scc:
+            n_sccs += 1
+        available = [
+            op for op in body_ops if graph.operation(op).dest is not None
+        ]
+        rng.shuffle(available)
+        for _ in range(n_sccs):
+            size = 2
+            while (
+                size < config.max_scc_size
+                and rng.random() < config.p_scc_growth
+            ):
+                size += 1
+            if len(available) < size:
+                break
+            members = sorted(available[:size])
+            del available[:size]
+            for left, right in zip(members, members[1:]):
+                graph.add_edge(left, right, DependenceKind.FLOW)
+            graph.add_edge(
+                members[-1],
+                members[0],
+                DependenceKind.FLOW,
+                distance=rng.choice((1, 1, 1, 2)),
+            )
+
+    brtop = graph.add_operation("brtop", role="loop_control")
+    graph.add_edge(brtop, brtop, DependenceKind.FLOW, distance=1, delay=1)
+    return graph.seal()

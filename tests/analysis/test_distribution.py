@@ -1,0 +1,39 @@
+"""Table-3-style distribution rows."""
+
+import pytest
+
+from repro.analysis import distribution_row
+
+
+class TestDistributionRow:
+    def test_basic_statistics(self):
+        row = distribution_row("ops", [4, 4, 8, 12, 100], minimum_possible=4)
+        assert row.frequency_of_minimum == pytest.approx(0.4)
+        assert row.median == 8
+        assert row.mean == pytest.approx(25.6)
+        assert row.maximum == 100
+
+    def test_minimum_possible_need_not_be_observed(self):
+        row = distribution_row("x", [5, 6], minimum_possible=1)
+        assert row.frequency_of_minimum == 0.0
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError):
+            distribution_row("x", [], minimum_possible=0)
+
+    def test_float_tolerance(self):
+        row = distribution_row(
+            "ratio", [1.0, 1.0 + 1e-12, 2.0], minimum_possible=1.0
+        )
+        assert row.frequency_of_minimum == pytest.approx(2 / 3)
+
+    def test_cells_are_strings(self):
+        row = distribution_row("x", [1, 2, 3], minimum_possible=1)
+        assert all(isinstance(c, str) for c in row.cells())
+
+    def test_skew_signature(self):
+        """Long-tailed data shows median < mean, the paper's signature."""
+        row = distribution_row(
+            "skewed", [1] * 90 + [100] * 10, minimum_possible=1
+        )
+        assert row.median < row.mean

@@ -1,0 +1,35 @@
+"""The execution-time model."""
+
+import pytest
+
+from repro.analysis import execution_time, execution_time_bound
+
+
+class TestExecutionTime:
+    def test_formula(self):
+        # 2 entries * SL 10 + (100 - 2) iterations * II 3.
+        assert execution_time(2, 100, 10, 3) == 2 * 10 + 98 * 3
+
+    def test_single_iteration_pays_only_sl(self):
+        assert execution_time(1, 1, 10, 3) == 10
+
+    def test_ii_dominates_long_loops(self):
+        short = execution_time(1, 10, 50, 5)
+        long = execution_time(1, 10_000, 50, 5)
+        assert long / 10_000 == pytest.approx(5, rel=0.01)
+
+    def test_invalid_frequencies_rejected(self):
+        with pytest.raises(ValueError):
+            execution_time(5, 3, 10, 1)
+        with pytest.raises(ValueError):
+            execution_time(-1, 3, 10, 1)
+
+    def test_bound_uses_bounds(self):
+        assert execution_time_bound(1, 100, 8, 2) == execution_time(
+            1, 100, 8, 2
+        )
+
+    def test_bound_never_exceeds_actual_for_dominated_terms(self):
+        actual = execution_time(1, 100, 10, 3)
+        bound = execution_time_bound(1, 100, 9, 3)
+        assert bound <= actual

@@ -1,0 +1,69 @@
+"""Least-squares fits for the complexity study."""
+
+import pytest
+
+from repro.analysis import fit_linear, fit_power, fit_quadratic
+
+
+class TestLinearFit:
+    def test_exact_line_through_origin(self):
+        xs = [1, 2, 3, 4]
+        fit = fit_linear(xs, [3 * x for x in xs])
+        assert fit.slope == pytest.approx(3.0)
+        assert fit.residual_std == pytest.approx(0.0, abs=1e-9)
+
+    def test_with_intercept(self):
+        xs = [0, 1, 2, 3]
+        fit = fit_linear(xs, [2 * x + 5 for x in xs], through_origin=False)
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(5.0)
+
+    def test_noise_increases_residual(self):
+        xs = list(range(1, 20))
+        clean = fit_linear(xs, [2.0 * x for x in xs])
+        noisy = fit_linear(
+            xs, [2.0 * x + (1 if x % 2 else -1) * 10 for x in xs]
+        )
+        assert noisy.residual_std > clean.residual_std
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fit_linear([], [])
+
+    def test_describe_contains_slope(self):
+        fit = fit_linear([1, 2], [3, 6])
+        assert "3.0000N" in fit.describe()
+
+
+class TestQuadraticFit:
+    def test_exact_quadratic(self):
+        xs = list(range(1, 10))
+        fit = fit_quadratic(xs, [0.5 * x * x + 2 * x + 1 for x in xs])
+        assert fit.a == pytest.approx(0.5)
+        assert fit.b == pytest.approx(2.0)
+        assert fit.c == pytest.approx(1.0)
+
+    def test_needs_three_points(self):
+        with pytest.raises(ValueError):
+            fit_quadratic([1, 2], [1, 2])
+
+
+class TestPowerFit:
+    def test_recovers_exponent(self):
+        xs = [2, 4, 8, 16, 32]
+        fit = fit_power(xs, [3 * x**2 for x in xs])
+        assert fit.exponent == pytest.approx(2.0, abs=0.01)
+        assert fit.scale == pytest.approx(3.0, rel=0.05)
+
+    def test_linear_data_has_unit_exponent(self):
+        xs = [1, 2, 4, 8]
+        fit = fit_power(xs, [5 * x for x in xs])
+        assert fit.exponent == pytest.approx(1.0, abs=0.01)
+
+    def test_nonpositive_points_dropped(self):
+        fit = fit_power([0, 1, 2, 4], [9, 2, 4, 8])
+        assert fit.exponent == pytest.approx(1.0, abs=0.01)
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            fit_power([1], [1])

@@ -1,0 +1,93 @@
+"""Acyclic list scheduling: correctness and the SL lower-bound role."""
+
+import pytest
+
+from repro.baselines import list_schedule, list_schedule_length
+from repro.core import Counters, modulo_schedule
+from repro.ir import DependenceGraph, DependenceKind, GraphError
+from repro.machine import cydra5, single_alu_machine, two_alu_machine
+
+from tests.conftest import chain_graph, reduction_graph
+
+
+@pytest.fixture
+def alu():
+    return single_alu_machine()
+
+
+class TestCorrectness:
+    def test_chain_length_is_sum_of_delays(self, alu):
+        graph = chain_graph(alu, ["fmul", "fmul", "fadd"])  # 3+3+1
+        assert list_schedule_length(graph, alu) == 7
+
+    def test_all_distance_zero_edges_honored(self, alu):
+        graph = chain_graph(alu, ["fadd", "fmul", "fadd", "fadd"])
+        schedule = list_schedule(graph, alu)
+        for edge in graph.edges:
+            if edge.distance == 0:
+                gap = schedule.times[edge.succ] - schedule.times[edge.pred]
+                assert gap >= edge.delay
+
+    def test_resources_never_oversubscribed(self, alu):
+        graph = DependenceGraph(alu)
+        for _ in range(5):
+            graph.add_operation("fadd")
+        graph.seal()
+        schedule = list_schedule(graph, alu)
+        times = [schedule.times[i] for i in range(1, 6)]
+        assert len(set(times)) == 5  # one ALU: all distinct cycles
+
+    def test_two_alus_pack_two_per_cycle(self):
+        machine = two_alu_machine()
+        graph = DependenceGraph(machine)
+        for _ in range(4):
+            graph.add_operation("fadd")
+        graph.seal()
+        schedule = list_schedule(graph, machine)
+        issue_times = sorted(schedule.times[i] for i in range(1, 5))
+        assert issue_times == [0, 0, 1, 1]
+        # SL covers the last op's unit latency.
+        assert list_schedule_length(graph, machine) == 2
+
+    def test_interiteration_edges_ignored(self, alu):
+        graph = reduction_graph(alu)
+        # The distance-1 self-loop must not serialize the single iteration.
+        schedule = list_schedule(graph, alu)
+        assert schedule.times[2] >= schedule.times[1] + 2  # load latency
+
+
+class TestRole:
+    def test_list_sl_lower_bounds_modulo_sl(self, alu):
+        for opcodes in (["fadd"] * 4, ["fmul", "fadd", "fmul"], ["load"] * 3):
+            graph = chain_graph(alu, opcodes)
+            list_sl = list_schedule_length(graph, alu)
+            result = modulo_schedule(graph, alu)
+            assert result.schedule_length >= list_sl
+
+    def test_counters_record_each_op_once(self, alu):
+        graph = chain_graph(alu, ["fadd"] * 5)
+        counters = Counters()
+        list_schedule(graph, alu, counters)
+        assert counters.ops_scheduled == graph.n_ops
+
+    def test_unsealed_rejected(self, alu):
+        graph = DependenceGraph(alu)
+        graph.add_operation("fadd")
+        with pytest.raises(GraphError):
+            list_schedule(graph, alu)
+
+    def test_zero_distance_cycle_rejected(self, alu):
+        graph = DependenceGraph(alu)
+        a = graph.add_operation("fadd")
+        b = graph.add_operation("fadd")
+        graph.add_edge(a, b, DependenceKind.FLOW)
+        graph.add_edge(b, a, DependenceKind.FLOW, delay=0)
+        graph.seal()
+        with pytest.raises(GraphError):
+            list_schedule(graph, alu)
+
+    def test_works_on_cydra_complex_tables(self):
+        machine = cydra5()
+        graph = chain_graph(machine, ["load", "fmul", "fadd", "store"])
+        schedule = list_schedule(graph, machine)
+        assert schedule.times[graph.stop] >= 20 + 5 + 4 + 1

@@ -1,0 +1,97 @@
+"""Unroll-before-scheduling: replication, barriers, and the trade-off."""
+
+import pytest
+
+from repro.baselines import unroll_and_schedule, unroll_graph
+from repro.core import modulo_schedule
+from repro.ir import DependenceGraph, DependenceKind
+from repro.machine import single_alu_machine, two_alu_machine
+
+from tests.conftest import chain_graph, reduction_graph
+
+
+@pytest.fixture
+def alu():
+    return single_alu_machine()
+
+
+class TestUnrollGraph:
+    def test_replicates_real_operations(self, alu):
+        graph = chain_graph(alu, ["fadd", "fmul"])
+        unrolled = unroll_graph(graph, 3)
+        assert unrolled.n_real_ops == 6
+
+    def test_factor_one_is_copy(self, alu):
+        graph = chain_graph(alu, ["fadd", "fmul"])
+        unrolled = unroll_graph(graph, 1)
+        assert unrolled.n_real_ops == graph.n_real_ops
+
+    def test_intra_edges_replicated_per_copy(self, alu):
+        graph = chain_graph(alu, ["fadd", "fadd"])
+        unrolled = unroll_graph(graph, 2)
+        real_edges = [
+            e
+            for e in unrolled.edges
+            if not unrolled.operation(e.pred).is_pseudo
+            and not unrolled.operation(e.succ).is_pseudo
+        ]
+        assert len(real_edges) == 2
+
+    def test_cross_iteration_edge_becomes_intra_body(self, alu):
+        graph = reduction_graph(alu)  # acc -> acc at distance 1
+        unrolled = unroll_graph(graph, 3)
+        cross = [
+            e
+            for e in unrolled.edges
+            if e.distance == 0
+            and not unrolled.operation(e.pred).is_pseudo
+            and e.pred != e.succ
+            and unrolled.operation(e.pred).opcode == "fadd"
+            and unrolled.operation(e.succ).opcode == "fadd"
+        ]
+        # acc(copy0)->acc(copy1), acc(copy1)->acc(copy2).
+        assert len(cross) == 2
+
+    def test_back_edge_dropped_at_barrier(self, alu):
+        graph = reduction_graph(alu)
+        unrolled = unroll_graph(graph, 2)
+        # No edges with distance > 0 survive unrolling.
+        assert all(e.distance == 0 for e in unrolled.edges)
+
+    def test_rejects_bad_factor(self, alu):
+        graph = chain_graph(alu, ["fadd"])
+        with pytest.raises(ValueError):
+            unroll_graph(graph, 0)
+
+    def test_registers_renamed_per_copy(self, alu):
+        graph = chain_graph(alu, ["fadd"])
+        unrolled = unroll_graph(graph, 2)
+        dests = [op.dest for op in unrolled.real_operations()]
+        assert len(set(dests)) == 2
+
+
+class TestTradeoff:
+    def test_effective_ii_improves_with_unrolling(self, alu):
+        graph = reduction_graph(alu)
+        one = unroll_and_schedule(graph, alu, 1)
+        four = unroll_and_schedule(graph, alu, 4)
+        assert four.effective_ii <= one.effective_ii
+
+    def test_modulo_beats_or_matches_unrolled_throughput(self):
+        machine = two_alu_machine()
+        graph = chain_graph(machine, ["load", "fmul", "fadd", "store"])
+        modulo = modulo_schedule(graph, machine)
+        unrolled = unroll_and_schedule(graph, machine, 4)
+        assert modulo.ii <= unrolled.effective_ii + 1e-9
+
+    def test_code_growth_equals_factor(self, alu):
+        graph = chain_graph(alu, ["fadd"])
+        result = unroll_and_schedule(graph, alu, 5)
+        assert result.code_growth == 5.0
+
+    def test_barrier_limits_overlap(self, alu):
+        """With the back-edge barrier, a recurrence-free chain still pays
+        the full critical path once per unrolled body."""
+        graph = chain_graph(alu, ["fmul", "fmul"])  # critical path 6
+        result = unroll_and_schedule(graph, alu, 2)
+        assert result.schedule_length >= 6

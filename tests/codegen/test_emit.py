@@ -1,0 +1,108 @@
+"""Prologue / kernel / epilogue layout: the structural invariants."""
+
+import pytest
+
+from repro.codegen import emit_pipelined_code
+from repro.core import modulo_schedule
+from repro.loopir import compile_loop_full
+from repro.machine import cydra5, single_alu_machine
+from repro.workloads.kernels import KERNELS
+
+
+def _emitted(source, machine, name="loop"):
+    lowered = compile_loop_full(source, machine, name=name)
+    result = modulo_schedule(lowered.graph, machine, budget_ratio=6.0)
+    return lowered, result, emit_pipelined_code(lowered.graph, result.schedule)
+
+
+class TestRampLengths:
+    def test_ramp_is_stage_count_minus_one_iis(self):
+        lowered, result, code = _emitted(
+            "for i in n:\n    s = s + x[i]\n", cydra5()
+        )
+        expected = (result.schedule.stage_count - 1) * result.ii
+        assert code.prologue_length == expected
+        assert code.epilogue_length == expected
+
+    def test_single_stage_loop_has_empty_ramps(self):
+        lowered, result, code = _emitted(
+            "for i in n:\n    t = 1.0\n    y[i] = t\n", single_alu_machine()
+        )
+        if result.schedule.stage_count == 1:
+            assert code.prologue == [] and code.epilogue == []
+
+
+class TestInstanceCounts:
+    @pytest.mark.parametrize("name", ["sdot", "saxpy", "lfk1_hydro", "stencil5"])
+    def test_prologue_and_epilogue_counts(self, name):
+        machine = cydra5()
+        lowered = compile_loop_full(KERNELS[name].source, machine, name=name)
+        result = modulo_schedule(lowered.graph, machine, budget_ratio=6.0)
+        code = emit_pipelined_code(lowered.graph, result.schedule)
+        schedule = result.schedule
+        stage_sum = sum(
+            schedule.stage(op.index)
+            for op in lowered.graph.real_operations()
+        )
+        stage_count = schedule.stage_count
+        n_real = lowered.graph.n_real_ops
+        prologue, epilogue = code.instance_count()
+        assert epilogue == stage_sum
+        assert prologue == (stage_count - 1) * n_real - stage_sum
+
+    @pytest.mark.parametrize("name", ["sdot", "lfk5_tridiag"])
+    def test_n_iterations_execute_n_times_ops(self, name):
+        """prologue + (n - SC + 1) kernel traversals + epilogue covers
+        every operation of every iteration exactly once."""
+        machine = cydra5()
+        lowered = compile_loop_full(KERNELS[name].source, machine, name=name)
+        result = modulo_schedule(lowered.graph, machine, budget_ratio=6.0)
+        code = emit_pipelined_code(lowered.graph, result.schedule)
+        n = result.schedule.stage_count + 5
+        prologue, epilogue = code.instance_count()
+        kernel_instances = (
+            n - result.schedule.stage_count + 1
+        ) * lowered.graph.n_real_ops
+        assert (
+            prologue + kernel_instances + epilogue
+            == n * lowered.graph.n_real_ops
+        )
+
+
+class TestLayout:
+    def test_prologue_rows_hold_filling_iterations(self):
+        lowered, result, code = _emitted(
+            "for i in n:\n    s = s + x[i]\n", cydra5()
+        )
+        ii = result.ii
+        for cycle, row in enumerate(code.prologue):
+            for op, lag in row:
+                assert result.schedule.times[op] + lag * ii == cycle
+
+    def test_epilogue_rows_hold_draining_iterations(self):
+        lowered, result, code = _emitted(
+            "for i in n:\n    s = s + x[i]\n", cydra5()
+        )
+        ii = result.ii
+        for offset, row in enumerate(code.epilogue):
+            for op, lag in row:
+                assert result.schedule.times[op] - lag * ii == offset
+                assert lag >= 1
+
+    def test_render_includes_all_sections(self):
+        lowered, result, code = _emitted(
+            "for i in n:\n    s = s + x[i]\n", cydra5()
+        )
+        text = code.render(lowered.graph)
+        assert "prologue" in text
+        assert "kernel" in text
+        assert "epilogue" in text
+
+    def test_mve_can_be_disabled(self):
+        lowered, result, _ = _emitted(
+            "for i in n:\n    y[i] = x[i]\n", single_alu_machine()
+        )
+        code = emit_pipelined_code(
+            lowered.graph, result.schedule, use_mve=False
+        )
+        assert code.kernel is None

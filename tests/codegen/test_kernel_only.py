@@ -1,0 +1,78 @@
+"""Kernel-only code generation with stage predicates."""
+
+import pytest
+
+from repro.codegen import allocate_rotating, emit_kernel_only, emit_pipelined_code
+from repro.core import modulo_schedule
+from repro.loopir import compile_loop_full
+from repro.machine import cydra5
+from repro.workloads.kernels import KERNELS
+
+
+def _emitted(name):
+    machine = cydra5()
+    lowered = compile_loop_full(KERNELS[name].source, machine, name=name)
+    result = modulo_schedule(lowered.graph, machine, budget_ratio=6.0)
+    code = emit_kernel_only(lowered.graph, result.schedule)
+    return lowered, result, code
+
+
+class TestStructure:
+    def test_exactly_ii_rows(self):
+        _, result, code = _emitted("sdot")
+        assert len(code.rows) == result.ii
+
+    def test_each_op_once_with_its_stage_predicate(self):
+        lowered, result, code = _emitted("sdot")
+        seen = {}
+        for row in code.rows:
+            for item in row:
+                seen[item.op] = item.stage
+        for op in lowered.graph.real_operations():
+            assert seen[op.index] == result.schedule.stage(op.index)
+
+    def test_zero_code_expansion(self):
+        lowered, _, code = _emitted("lfk1_hydro")
+        total = sum(len(row) for row in code.rows)
+        assert total == lowered.graph.n_real_ops
+
+    def test_rotating_register_names_used(self):
+        lowered, result, code = _emitted("sdot")
+        allocation = allocate_rotating(lowered.graph, result.schedule)
+        rendered = code.render()
+        assert "r[" in rendered
+        assert code.rotating_size == allocation.size
+
+    def test_render_mentions_predicates_and_brtop(self):
+        _, _, code = _emitted("saxpy")
+        text = code.render()
+        assert "(p[" in text
+        assert "brtop" in text
+
+
+class TestTiming:
+    def test_total_cycles_formula(self):
+        _, result, code = _emitted("sdot")
+        n = 100
+        assert code.total_cycles(n) == (n + code.stage_count - 1) * result.ii
+        assert code.total_cycles(0) == 0
+
+    @pytest.mark.parametrize("name", ["sdot", "stencil5"])
+    def test_kernel_only_vs_explicit_cost(self, name):
+        """Kernel-only pays at most (SC*II - SL) extra cycles relative to
+        the explicit prologue/kernel/epilogue layout, never less than it."""
+        lowered, result, code = _emitted(name)
+        explicit_cycles = (100 - 1) * result.ii + result.schedule_length
+        kernel_only_cycles = code.total_cycles(100)
+        assert kernel_only_cycles >= explicit_cycles
+        slack = code.stage_count * result.ii - result.schedule_length
+        assert kernel_only_cycles - explicit_cycles == slack
+
+    def test_consumer_distance_addresses_offset_register(self):
+        lowered, result, code = _emitted("sdot")
+        acc = lowered.carried_defs["s"]
+        allocation = allocate_rotating(lowered.graph, result.schedule)
+        base = allocation.bases[acc]
+        # The accumulator reads itself at distance 1: r[base + 1].
+        rendered = code.render()
+        assert f"r[{base + 1}]" in rendered

@@ -1,0 +1,76 @@
+"""Value lifetimes under a schedule."""
+
+import pytest
+
+from repro.codegen import compute_lifetimes
+from repro.codegen.lifetimes import mve_unroll_factor
+from repro.core import Schedule, modulo_schedule
+from repro.ir import DependenceGraph, DependenceKind
+from repro.machine import single_alu_machine
+
+from tests.conftest import chain_graph, reduction_graph
+
+
+@pytest.fixture
+def alu():
+    return single_alu_machine()
+
+
+class TestBasics:
+    def test_unused_value_lives_for_its_latency(self, alu):
+        graph = chain_graph(alu, ["fmul"])  # latency 3, consumer only STOP
+        schedule = modulo_schedule(graph, alu).schedule
+        lifetimes = compute_lifetimes(graph, schedule)
+        lifetime = lifetimes[1]
+        assert lifetime.length == 3
+
+    def test_consumer_extends_lifetime(self, alu):
+        graph = DependenceGraph(alu)
+        a = graph.add_operation("fadd", dest="a")
+        b = graph.add_operation("fadd", dest="b")
+        graph.add_edge(a, b, DependenceKind.FLOW, delay=5)
+        graph.seal()
+        schedule = modulo_schedule(graph, alu).schedule
+        lifetimes = compute_lifetimes(graph, schedule)
+        assert lifetimes[a].end == schedule.times[b]
+
+    def test_cross_iteration_consumer_adds_ii_per_distance(self, alu):
+        graph = reduction_graph(alu)
+        result = modulo_schedule(graph, alu)
+        schedule = result.schedule
+        lifetimes = compute_lifetimes(graph, schedule)
+        acc = lifetimes[2]
+        assert acc.end == schedule.times[2] + result.ii  # self use, d=1
+
+    def test_stores_have_no_lifetime_entry(self, alu):
+        graph = DependenceGraph(alu)
+        load = graph.add_operation("load", dest="v")
+        store = graph.add_operation("store")  # no destination register
+        graph.add_edge(load, store, DependenceKind.FLOW)
+        graph.seal()
+        schedule = modulo_schedule(graph, alu).schedule
+        lifetimes = compute_lifetimes(graph, schedule)
+        assert store not in lifetimes
+
+    def test_instances_at(self, alu):
+        graph = chain_graph(alu, ["fmul"])
+        schedule = modulo_schedule(graph, alu).schedule
+        lifetime = compute_lifetimes(graph, schedule)[1]
+        assert lifetime.instances_at(1) == lifetime.length + 1
+        assert lifetime.instances_at(lifetime.length + 1) == 1
+
+
+class TestUnrollFactor:
+    def test_short_lifetimes_need_no_unroll(self, alu):
+        graph = chain_graph(alu, ["fadd"])
+        schedule = modulo_schedule(graph, alu).schedule
+        lifetimes = compute_lifetimes(graph, schedule)
+        assert mve_unroll_factor(lifetimes, schedule.ii) == 1
+
+    def test_long_lifetime_forces_unroll(self, alu):
+        graph = chain_graph(alu, ["load", "fadd"])  # load lives 2 cycles
+        result = modulo_schedule(graph, alu)
+        lifetimes = compute_lifetimes(graph, result.schedule)
+        factor = mve_unroll_factor(lifetimes, result.ii)
+        longest = max(l.length for l in lifetimes.values())
+        assert factor >= -(-longest // result.ii)

@@ -1,0 +1,104 @@
+"""Modulo variable expansion: kernel unrolling and renaming."""
+
+import pytest
+
+from repro.codegen import compute_lifetimes, modulo_variable_expansion
+from repro.core import modulo_schedule
+from repro.loopir import compile_loop_full
+from repro.machine import cydra5, single_alu_machine
+
+
+def _expanded(source, machine, name="loop"):
+    lowered = compile_loop_full(source, machine, name=name)
+    result = modulo_schedule(lowered.graph, machine, budget_ratio=6.0)
+    kernel = modulo_variable_expansion(lowered.graph, result.schedule)
+    return lowered, result, kernel
+
+
+class TestStructure:
+    def test_kernel_rows_equal_unroll_times_ii(self):
+        lowered, result, kernel = _expanded(
+            "for i in n:\n    s = s + x[i] * y[i]\n", cydra5()
+        )
+        assert len(kernel.rows) == kernel.unroll * result.ii
+        assert kernel.length == kernel.unroll * result.ii
+
+    def test_each_op_appears_once_per_copy(self):
+        lowered, result, kernel = _expanded(
+            "for i in n:\n    y[i] = x[i] * 2.0\n", single_alu_machine()
+        )
+        counts = {}
+        for row in kernel.rows:
+            for item in row:
+                counts[item.op] = counts.get(item.op, 0) + 1
+        for op in lowered.graph.real_operations():
+            assert counts[op.index] == kernel.unroll
+
+    def test_code_growth_equals_unroll(self):
+        lowered, result, kernel = _expanded(
+            "for i in n:\n    s = s + x[i]\n", cydra5()
+        )
+        growth = kernel.code_growth(lowered.graph.n_real_ops)
+        assert growth == pytest.approx(kernel.unroll)
+
+    def test_row_slots_match_schedule(self):
+        lowered, result, kernel = _expanded(
+            "for i in n:\n    y[i] = x[i]\n", single_alu_machine()
+        )
+        for row_index, row in enumerate(kernel.rows):
+            for item in row:
+                assert (
+                    result.schedule.times[item.op] % result.ii
+                    == row_index % result.ii
+                )
+
+
+class TestRenaming:
+    def test_unroll_covers_longest_lifetime(self):
+        lowered, result, kernel = _expanded(
+            "for i in n:\n    s = s + x[i] * y[i]\n", cydra5()
+        )
+        lifetimes = compute_lifetimes(lowered.graph, result.schedule)
+        longest = max(l.length for l in lifetimes.values())
+        assert kernel.unroll * result.ii >= longest
+
+    def test_destinations_distinct_across_copies(self):
+        lowered, result, kernel = _expanded(
+            "for i in n:\n    y[i] = x[i] + 1.0\n", cydra5()
+        )
+        if kernel.unroll < 2:
+            pytest.skip("no expansion needed for this schedule")
+        per_op = {}
+        for row in kernel.rows:
+            for item in row:
+                if item.dest is not None:
+                    per_op.setdefault(item.op, set()).add(item.dest)
+        for op, dests in per_op.items():
+            assert len(dests) == kernel.unroll
+
+    def test_consumer_reads_producer_copy_offset_by_distance(self):
+        """The accumulator reads its own previous copy."""
+        machine = single_alu_machine()
+        lowered, result, kernel = _expanded(
+            "for i in n:\n    s = s + x[i]\n", machine
+        )
+        if kernel.unroll < 2:
+            pytest.skip("no expansion needed for this schedule")
+        acc_op = lowered.carried_defs["s"]
+        items = [
+            item
+            for row in kernel.rows
+            for item in row
+            if item.op == acc_op
+        ]
+        for item in items:
+            expected_src = f"{lowered.graph.operation(acc_op).dest}@" + str(
+                (item.copy - 1) % kernel.unroll
+            )
+            assert expected_src in item.srcs
+
+    def test_render_mentions_unroll(self):
+        _, _, kernel = _expanded(
+            "for i in n:\n    y[i] = x[i]\n", single_alu_machine()
+        )
+        assert f"unroll={kernel.unroll}" in kernel.render()

@@ -1,0 +1,84 @@
+"""Register pressure: MaxLive and its relation to the block allocator."""
+
+import pytest
+
+from repro.codegen import (
+    allocate_rotating,
+    compute_lifetimes,
+    register_pressure,
+)
+from repro.core import Schedule, modulo_schedule
+from repro.ir import DependenceGraph, DependenceKind
+from repro.loopir import compile_loop_full
+from repro.machine import cydra5, single_alu_machine
+from repro.workloads.kernels import KERNELS
+
+
+@pytest.fixture
+def alu():
+    return single_alu_machine()
+
+
+class TestHandCases:
+    def _one_value(self, alu, consumer_delay):
+        graph = DependenceGraph(alu)
+        a = graph.add_operation("fadd", dest="a")
+        b = graph.add_operation("fadd", dest="b", srcs=("a",))
+        graph.add_edge(a, b, DependenceKind.FLOW, delay=consumer_delay)
+        return graph.seal()
+
+    def test_short_lifetime_counts_once(self, alu):
+        graph = self._one_value(alu, consumer_delay=1)
+        result = modulo_schedule(graph, alu)
+        report = register_pressure(graph, result.schedule)
+        assert report.max_live >= 1
+
+    def test_lifetime_spanning_k_iis_counts_k_everywhere(self, alu):
+        graph = self._one_value(alu, consumer_delay=6)  # II will be 2
+        result = modulo_schedule(graph, alu)
+        lifetimes = compute_lifetimes(graph, result.schedule)
+        report = register_pressure(graph, result.schedule, lifetimes)
+        value = lifetimes[1]
+        floor_count = value.length // result.ii
+        assert min(report.per_slot) >= floor_count
+
+    def test_per_slot_length_is_ii(self, alu):
+        graph = self._one_value(alu, consumer_delay=3)
+        result = modulo_schedule(graph, alu)
+        report = register_pressure(graph, result.schedule)
+        assert len(report.per_slot) == result.ii
+
+    def test_zero_length_values_ignored(self, alu):
+        graph = DependenceGraph(alu)
+        graph.add_operation("store")
+        graph.seal()
+        result = modulo_schedule(graph, alu)
+        report = register_pressure(graph, result.schedule)
+        assert report.max_live == 0
+
+    def test_describe(self, alu):
+        graph = self._one_value(alu, consumer_delay=2)
+        result = modulo_schedule(graph, alu)
+        text = register_pressure(graph, result.schedule).describe()
+        assert "MaxLive" in text
+
+
+class TestAllocatorBound:
+    @pytest.mark.parametrize(
+        "name", ["sdot", "saxpy", "lfk1_hydro", "iir_filter2", "stencil5"]
+    )
+    def test_rotating_size_at_least_max_live(self, name):
+        """The block allocator can never beat the MaxLive lower bound."""
+        machine = cydra5()
+        lowered = compile_loop_full(KERNELS[name].source, machine, name=name)
+        result = modulo_schedule(lowered.graph, machine, budget_ratio=6.0)
+        report = register_pressure(lowered.graph, result.schedule)
+        allocation = allocate_rotating(lowered.graph, result.schedule)
+        assert allocation.size >= report.max_live
+
+    def test_average_never_exceeds_max(self):
+        machine = cydra5()
+        lowered = compile_loop_full(KERNELS["srot"].source, machine)
+        result = modulo_schedule(lowered.graph, machine)
+        report = register_pressure(lowered.graph, result.schedule)
+        assert report.avg_live <= report.max_live + 1e-9

@@ -1,0 +1,100 @@
+"""Rotating-register allocation: widths, disjoint blocks, safety."""
+
+import pytest
+
+from repro.codegen import allocate_rotating, compute_lifetimes
+from repro.codegen.rotation import verify_rotating_allocation
+from repro.core import modulo_schedule
+from repro.loopir import compile_loop_full
+from repro.machine import cydra5, single_alu_machine
+from repro.workloads.kernels import KERNELS
+
+
+def _allocated(source, machine):
+    lowered = compile_loop_full(source, machine)
+    result = modulo_schedule(lowered.graph, machine, budget_ratio=6.0)
+    allocation = allocate_rotating(lowered.graph, result.schedule)
+    return lowered, result, allocation
+
+
+class TestAllocation:
+    def test_blocks_are_disjoint(self):
+        lowered, result, allocation = _allocated(
+            "for i in n:\n    s = s + x[i] * y[i]\n", cydra5()
+        )
+        spans = []
+        for op, base in allocation.bases.items():
+            spans.append((base, base + allocation.widths[op]))
+        spans.sort()
+        for (_, end), (start, _) in zip(spans, spans[1:]):
+            assert start >= end
+
+    def test_size_is_sum_of_widths(self):
+        _, _, allocation = _allocated(
+            "for i in n:\n    y[i] = x[i]\n", single_alu_machine()
+        )
+        assert allocation.size == sum(allocation.widths.values())
+
+    def test_width_covers_read_distance(self):
+        lowered, result, allocation = _allocated(
+            "for i in n:\n    s = s + x[i]\n", single_alu_machine()
+        )
+        acc = lowered.carried_defs["s"]
+        # The accumulator is read at distance 1, so needs >= 2 slots.
+        assert allocation.widths[acc] >= 2
+
+    def test_register_names(self):
+        _, _, allocation = _allocated(
+            "for i in n:\n    y[i] = x[i]\n", single_alu_machine()
+        )
+        op = min(allocation.bases)
+        assert allocation.register_for_def(op) == f"r[{allocation.bases[op]}]"
+        assert allocation.register_for_use(op, 0) == allocation.register_for_def(op)
+
+    def test_excessive_read_distance_rejected(self):
+        _, _, allocation = _allocated(
+            "for i in n:\n    y[i] = x[i]\n", single_alu_machine()
+        )
+        op = min(allocation.bases)
+        with pytest.raises(ValueError):
+            allocation.register_for_use(op, allocation.widths[op] + 1)
+
+    def test_describe_lists_blocks(self):
+        _, _, allocation = _allocated(
+            "for i in n:\n    y[i] = x[i]\n", single_alu_machine()
+        )
+        assert "rotating file" in allocation.describe()
+
+
+class TestSafety:
+    @pytest.mark.parametrize(
+        "name", ["sdot", "saxpy", "lfk5_tridiag", "iir_filter2", "stencil5"]
+    )
+    def test_verifier_accepts_real_kernels(self, name):
+        machine = cydra5()
+        lowered = compile_loop_full(KERNELS[name].source, machine, name=name)
+        result = modulo_schedule(lowered.graph, machine, budget_ratio=6.0)
+        allocation = allocate_rotating(lowered.graph, result.schedule)
+        problems = verify_rotating_allocation(
+            lowered.graph, result.schedule, allocation
+        )
+        assert problems == []
+
+    def test_verifier_rejects_shrunk_width(self):
+        machine = cydra5()
+        lowered = compile_loop_full(
+            "for i in n:\n    s = s + x[i] * y[i]\n", machine
+        )
+        result = modulo_schedule(lowered.graph, machine)
+        allocation = allocate_rotating(lowered.graph, result.schedule)
+        lifetimes = compute_lifetimes(lowered.graph, result.schedule)
+        victim = max(
+            lifetimes, key=lambda op: lifetimes[op].length
+        )
+        allocation.widths[victim] = max(
+            0, lifetimes[victim].length // result.ii - 1
+        )
+        problems = verify_rotating_allocation(
+            lowered.graph, result.schedule, allocation
+        )
+        assert problems

@@ -1,0 +1,71 @@
+"""Shared fixtures and graph-building helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir import DependenceGraph, DependenceKind
+from repro.machine import (
+    bus_conflict_machine,
+    cydra5,
+    single_alu_machine,
+    superscalar_machine,
+    two_alu_machine,
+)
+
+
+@pytest.fixture
+def alu():
+    return single_alu_machine()
+
+
+@pytest.fixture
+def two_alu():
+    return two_alu_machine()
+
+
+@pytest.fixture
+def cydra():
+    return cydra5()
+
+
+@pytest.fixture
+def figure1_machine():
+    return bus_conflict_machine()
+
+
+@pytest.fixture
+def superscalar():
+    return superscalar_machine()
+
+
+def chain_graph(machine, opcodes, name="chain"):
+    """A sealed graph: a straight dependence chain of the given opcodes."""
+    graph = DependenceGraph(machine, name=name)
+    previous = None
+    for index, opcode in enumerate(opcodes):
+        op = graph.add_operation(opcode, dest=f"v{index}")
+        if previous is not None:
+            graph.add_edge(previous, op, DependenceKind.FLOW)
+        previous = op
+    return graph.seal()
+
+
+def reduction_graph(machine, load_op="load", acc_op="fadd", name="reduce"):
+    """load -> accumulate, with a distance-1 self recurrence on the add."""
+    graph = DependenceGraph(machine, name=name)
+    load = graph.add_operation(load_op, dest="v")
+    acc = graph.add_operation(acc_op, dest="s", srcs=("s", "v"))
+    graph.add_edge(load, acc, DependenceKind.FLOW)
+    graph.add_edge(acc, acc, DependenceKind.FLOW, distance=1)
+    return graph.seal()
+
+
+def cross_iteration_graph(machine, distance=2, name="cross"):
+    """Two-op circuit whose recurrence spans ``distance`` iterations."""
+    graph = DependenceGraph(machine, name=name)
+    a = graph.add_operation("fadd", dest="a", srcs=("b",))
+    b = graph.add_operation("fmul", dest="b", srcs=("a",))
+    graph.add_edge(a, b, DependenceKind.FLOW)
+    graph.add_edge(b, a, DependenceKind.FLOW, distance=distance)
+    return graph.seal()

@@ -1,0 +1,110 @@
+"""ComputeMinDist: hand-checked matrices and feasibility."""
+
+import numpy as np
+import pytest
+
+from repro.core import Counters, compute_mindist, mindist_feasible
+from repro.core.mindist import NO_PATH, schedule_length_lower_bound
+from repro.ir import DependenceGraph, DependenceKind
+from repro.machine import single_alu_machine
+
+from tests.conftest import chain_graph, cross_iteration_graph, reduction_graph
+
+
+@pytest.fixture
+def machine():
+    return single_alu_machine()
+
+
+class TestInitialization:
+    def test_direct_edge_weight(self, machine):
+        graph = chain_graph(machine, ["fmul", "fadd"])  # fmul latency 3
+        dist, index = compute_mindist(graph, ii=1)
+        assert dist[index[1], index[2]] == 3
+
+    def test_inter_iteration_edge_discounted_by_ii(self, machine):
+        graph = DependenceGraph(machine)
+        a = graph.add_operation("fadd")
+        b = graph.add_operation("fadd")
+        graph.add_edge(a, b, DependenceKind.FLOW, distance=2, delay=5)
+        graph.seal()
+        dist, index = compute_mindist(graph, ii=3)
+        assert dist[index[a], index[b]] == 5 - 2 * 3
+
+    def test_no_path_is_minus_infinity(self, machine):
+        graph = DependenceGraph(machine)
+        a = graph.add_operation("fadd")
+        b = graph.add_operation("fadd")
+        graph.seal()
+        dist, index = compute_mindist(graph, ii=1)
+        assert dist[index[a], index[b]] == NO_PATH
+
+    def test_parallel_edges_take_max_weight(self, machine):
+        graph = DependenceGraph(machine)
+        a = graph.add_operation("fadd")
+        b = graph.add_operation("fadd")
+        graph.add_edge(a, b, DependenceKind.FLOW, delay=2)
+        graph.add_edge(a, b, DependenceKind.FLOW, delay=7)
+        graph.seal()
+        dist, index = compute_mindist(graph, ii=1)
+        assert dist[index[a], index[b]] == 7
+
+
+class TestClosure:
+    def test_transitive_path(self, machine):
+        graph = chain_graph(machine, ["fmul", "fmul", "fadd"])  # 3,3,1
+        dist, index = compute_mindist(graph, ii=1)
+        assert dist[index[1], index[3]] == 6
+
+    def test_start_to_stop_is_critical_path(self, machine):
+        graph = chain_graph(machine, ["fmul", "fmul", "fadd"])
+        assert schedule_length_lower_bound(graph, ii=1) == 3 + 3 + 1
+
+    def test_subset_restricts_edges(self, machine):
+        graph = chain_graph(machine, ["fadd", "fadd", "fadd"])
+        dist, index = compute_mindist(graph, ii=1, ops=[1, 3])
+        # 1 -> 3 only via 2, which is excluded.
+        assert dist[index[1], index[3]] == NO_PATH
+
+
+class TestFeasibility:
+    def test_recurrence_feasible_at_its_recmii(self, machine):
+        # Circuit delay 4 (fadd 1 + fmul 3), distance 2 => RecMII = 2.
+        graph = cross_iteration_graph(machine, distance=2)
+        dist, _ = compute_mindist(graph, ii=2, ops=[1, 2])
+        assert mindist_feasible(dist)
+
+    def test_recurrence_infeasible_below_recmii(self, machine):
+        graph = cross_iteration_graph(machine, distance=2)
+        dist, _ = compute_mindist(graph, ii=1, ops=[1, 2])
+        assert not mindist_feasible(dist)
+
+    def test_self_loop_on_diagonal(self, machine):
+        graph = reduction_graph(machine)  # fadd self-loop, delay 1, dist 1
+        dist, index = compute_mindist(graph, ii=1)
+        assert dist[index[2], index[2]] == 0  # delay 1 - 1*1
+
+    def test_acyclic_graph_feasible_at_ii_one(self, machine):
+        graph = chain_graph(machine, ["fadd"] * 5)
+        dist, _ = compute_mindist(graph, ii=1)
+        assert mindist_feasible(dist)
+
+
+class TestMisc:
+    def test_rejects_ii_below_one(self, machine):
+        graph = chain_graph(machine, ["fadd"])
+        with pytest.raises(ValueError):
+            compute_mindist(graph, ii=0)
+
+    def test_counters_record_cubic_inner_loop(self, machine):
+        graph = chain_graph(machine, ["fadd", "fadd"])
+        counters = Counters()
+        compute_mindist(graph, ii=1, counters=counters)
+        n = graph.n_ops
+        assert counters.mindist_inner == n**3
+        assert counters.mindist_invocations == 1
+
+    def test_index_map_covers_requested_ops(self, machine):
+        graph = chain_graph(machine, ["fadd", "fadd"])
+        _, index = compute_mindist(graph, ii=1, ops=[2, 1])
+        assert set(index) == {1, 2}

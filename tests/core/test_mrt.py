@@ -1,0 +1,107 @@
+"""Schedule reservation tables: linear and modulo behavior."""
+
+import pytest
+
+from repro.core import LinearReservations, ModuloReservations, ReservationConflict
+from repro.machine import ReservationTable
+
+
+@pytest.fixture
+def simple():
+    return ReservationTable("alu", [("alu", 0)])
+
+
+@pytest.fixture
+def complex_table():
+    return ReservationTable("mem", [("port", 0), ("port", 19)])
+
+
+class TestLinear:
+    def test_reserve_then_conflict(self, simple):
+        table = LinearReservations()
+        table.reserve(1, simple, 5)
+        assert table.conflicts(simple, 5)
+        assert not table.conflicts(simple, 6)
+
+    def test_release_frees_cells(self, simple):
+        table = LinearReservations()
+        table.reserve(1, simple, 5)
+        table.release(1)
+        assert not table.conflicts(simple, 5)
+
+    def test_release_is_idempotent(self, simple):
+        table = LinearReservations()
+        table.release(42)  # never reserved; must not raise
+
+    def test_double_reserve_same_op_rejected(self, simple):
+        table = LinearReservations()
+        table.reserve(1, simple, 0)
+        with pytest.raises(ReservationConflict):
+            table.reserve(1, simple, 9)
+
+    def test_conflicting_reserve_raises_and_leaves_state_clean(self, simple):
+        table = LinearReservations()
+        table.reserve(1, simple, 3)
+        with pytest.raises(ReservationConflict):
+            table.reserve(2, simple, 3)
+        assert not table.holds(2)
+        table.release(1)
+        table.reserve(2, simple, 3)  # now fine
+
+    def test_conflicting_ops_reports_occupants(self, simple):
+        table = LinearReservations()
+        table.reserve(7, simple, 2)
+        assert table.conflicting_ops([simple], 2) == {7}
+        assert table.conflicting_ops([simple], 3) == set()
+
+    def test_no_folding_in_linear_table(self, complex_table):
+        table = LinearReservations()
+        table.reserve(1, complex_table, 0)
+        # Offsets 0 and 19 occupy distinct absolute cycles.
+        assert table.conflicts(complex_table, 19)
+        assert not table.conflicts(complex_table, 1)
+
+
+class TestModulo:
+    def test_wraparound_conflict(self, simple):
+        mrt = ModuloReservations(ii=4)
+        mrt.reserve(1, simple, 2)
+        assert mrt.conflicts(simple, 6)  # 6 mod 4 == 2
+        assert not mrt.conflicts(simple, 7)
+
+    def test_cross_offset_wraparound(self, complex_table):
+        mrt = ModuloReservations(ii=5)
+        mrt.reserve(1, complex_table, 0)  # cells at 0 and 19 mod 5 == 4
+        assert mrt.conflicts(complex_table, 4)  # its offset 0 hits cell 4
+        blocker = ReservationTable("x", [("port", 0)])
+        assert mrt.conflicts(blocker, 4)
+        assert not mrt.conflicts(blocker, 1)
+
+    def test_self_conflicting_table_detected(self, complex_table):
+        mrt = ModuloReservations(ii=19)
+        assert mrt.self_conflicting(complex_table)
+        assert mrt.conflicts(complex_table, 0)
+        with pytest.raises(ReservationConflict):
+            mrt.reserve(1, complex_table, 0)
+
+    def test_not_self_conflicting_at_other_ii(self, complex_table):
+        mrt = ModuloReservations(ii=20)
+        assert not mrt.self_conflicting(complex_table)
+        mrt.reserve(1, complex_table, 0)
+
+    def test_rejects_ii_below_one(self):
+        with pytest.raises(ValueError):
+            ModuloReservations(ii=0)
+
+    def test_render_shows_occupants(self, simple):
+        mrt = ModuloReservations(ii=2)
+        mrt.reserve(3, simple, 1)
+        text = mrt.render(["alu"])
+        assert "op3" in text
+
+    def test_occupancy_snapshot_is_a_copy(self, simple):
+        mrt = ModuloReservations(ii=2)
+        mrt.reserve(1, simple, 0)
+        snapshot = mrt.occupancy()
+        snapshot.clear()
+        assert mrt.conflicts(simple, 0)

@@ -1,0 +1,95 @@
+"""Property tests on the modulo reservation table (hypothesis)."""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.core import ModuloReservations, ReservationConflict
+from repro.machine import ReservationTable
+
+_SETTINGS = settings(
+    max_examples=80,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def tables(draw):
+    resources = ["r0", "r1", "r2"]
+    n_uses = draw(st.integers(min_value=1, max_value=5))
+    uses = set()
+    while len(uses) < n_uses:
+        uses.add(
+            (
+                draw(st.sampled_from(resources)),
+                draw(st.integers(min_value=0, max_value=12)),
+            )
+        )
+    return ReservationTable("t", sorted(uses))
+
+
+class TestModuloFolding:
+    @given(tables(), st.integers(min_value=1, max_value=9),
+           st.integers(min_value=0, max_value=30),
+           st.integers(min_value=0, max_value=4))
+    @_SETTINGS
+    def test_conflict_is_periodic(self, table, ii, time, k):
+        """A placement conflicts at T iff it conflicts at T + k*II."""
+        mrt = ModuloReservations(ii)
+        if mrt.self_conflicting(table):
+            assert mrt.conflicts(table, time)
+            return
+        mrt.reserve(1, table, time)
+        assert mrt.conflicts(table, time + k * ii)
+
+    @given(tables(), st.integers(min_value=1, max_value=9),
+           st.integers(min_value=0, max_value=30))
+    @_SETTINGS
+    def test_reserve_release_is_identity(self, table, ii, time):
+        mrt = ModuloReservations(ii)
+        if mrt.self_conflicting(table):
+            return
+        before = mrt.occupancy()
+        mrt.reserve(7, table, time)
+        mrt.release(7)
+        assert mrt.occupancy() == before
+
+    @given(tables(), st.integers(min_value=1, max_value=9),
+           st.integers(min_value=0, max_value=30))
+    @_SETTINGS
+    def test_no_double_booking_ever(self, table, ii, time):
+        """Whatever reserve() accepts leaves every cell singly owned."""
+        mrt = ModuloReservations(ii)
+        placed = 0
+        for op, offset in enumerate(range(0, 3 * ii)):
+            if not mrt.conflicts(table, time + offset):
+                mrt.reserve(op, table, time + offset)
+                placed += 1
+        # Each placement holds len(uses) distinct cells.
+        assert len(mrt.occupancy()) == placed * len(table.uses)
+
+    @given(tables())
+    @_SETTINGS
+    def test_self_conflict_iff_offsets_congruent(self, table):
+        """self_conflicting(II) exactly when two uses of one resource
+        fold to the same slot."""
+        for ii in range(1, 15):
+            mrt = ModuloReservations(ii)
+            expected = False
+            by_resource = {}
+            for resource, offset in table.uses:
+                slots = by_resource.setdefault(resource, set())
+                if offset % ii in slots:
+                    expected = True
+                slots.add(offset % ii)
+            assert mrt.self_conflicting(table) == expected, ii
+
+    @given(tables(), st.integers(min_value=1, max_value=9))
+    @_SETTINGS
+    def test_conflicting_ops_names_the_blocker(self, table, ii):
+        mrt = ModuloReservations(ii)
+        if mrt.self_conflicting(table):
+            return
+        mrt.reserve(3, table, 0)
+        assert mrt.conflicting_ops([table], 0) == {3}
+        assert mrt.conflicting_ops([table], ii) == {3}

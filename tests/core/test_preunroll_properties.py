@@ -1,0 +1,93 @@
+"""Property tests for pre-scheduling unrolling (hypothesis)."""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.core import compute_mii, rec_mii, unroll_for_modulo
+from repro.ir import DependenceGraph, DependenceKind
+from repro.machine import single_alu_machine
+
+_SETTINGS = settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def recurrent_graphs(draw):
+    """A chain with a closing back edge of random delay and distance."""
+    machine = single_alu_machine()
+    graph = DependenceGraph(machine, name="prop")
+    size = draw(st.integers(min_value=1, max_value=5))
+    ops = [
+        graph.add_operation(
+            draw(st.sampled_from(["fadd", "fmul", "load"])), dest=f"v{i}"
+        )
+        for i in range(size)
+    ]
+    for left, right in zip(ops, ops[1:]):
+        graph.add_edge(left, right, DependenceKind.FLOW)
+    graph.add_edge(
+        ops[-1],
+        ops[0],
+        DependenceKind.FLOW,
+        distance=draw(st.integers(min_value=1, max_value=4)),
+        delay=draw(st.integers(min_value=0, max_value=9)),
+    )
+    return machine, graph.seal()
+
+
+class TestUnrollProperties:
+    @given(recurrent_graphs(), st.integers(min_value=1, max_value=4))
+    @_SETTINGS
+    def test_recmii_subadditive_under_unrolling(self, machine_graph, factor):
+        """RecMII(unroll u) <= u * RecMII(1): circuits' delay/distance
+        ratios are preserved, so the amortized bound never worsens."""
+        machine, graph = machine_graph
+        base = rec_mii(graph)
+        unrolled = unroll_for_modulo(graph, factor)
+        assert rec_mii(unrolled) <= factor * base
+
+    @given(recurrent_graphs(), st.integers(min_value=1, max_value=3))
+    @_SETTINGS
+    def test_amortized_rec_bound_never_below_fractional(
+        self, machine_graph, factor
+    ):
+        """RecMII(unroll u) / u >= max circuit Delay/Distance."""
+        machine, graph = machine_graph
+        back = [
+            e
+            for e in graph.edges
+            if e.distance > 0 and not graph.operation(e.pred).is_pseudo
+        ]
+        # The chain contributes every operation's latency except the
+        # last one's (the back edge's own delay replaces it); for a
+        # single-op graph the back edge is a self-loop and the chain
+        # contributes nothing.
+        chain_delay = sum(
+            graph.latency(op.index)
+            for op in graph.real_operations()
+        ) - graph.latency(
+            max(op.index for op in graph.real_operations())
+        )
+        circuit_delay = chain_delay + back[0].delay
+        fractional = circuit_delay / back[0].distance
+        unrolled = unroll_for_modulo(graph, factor)
+        assert rec_mii(unrolled) / factor >= min(fractional, 1.0) - 1e-9
+
+    @given(recurrent_graphs(), st.integers(min_value=1, max_value=3))
+    @_SETTINGS
+    def test_op_count_scales_exactly(self, machine_graph, factor):
+        machine, graph = machine_graph
+        unrolled = unroll_for_modulo(graph, factor)
+        assert unrolled.n_real_ops == factor * graph.n_real_ops
+
+    @given(recurrent_graphs())
+    @_SETTINGS
+    def test_unroll_one_preserves_mii(self, machine_graph):
+        machine, graph = machine_graph
+        assert (
+            compute_mii(unroll_for_modulo(graph, 1), machine).mii
+            == compute_mii(graph, machine).mii
+        )

@@ -1,0 +1,88 @@
+"""SCC identification: correctness and emission order."""
+
+import pytest
+
+from repro.core import Counters, condensation_order, strongly_connected_components
+from repro.core.scc import nontrivial_components
+from repro.ir import DependenceGraph, DependenceKind
+from repro.machine import single_alu_machine
+
+from tests.conftest import chain_graph, cross_iteration_graph, reduction_graph
+
+
+@pytest.fixture
+def machine():
+    return single_alu_machine()
+
+
+def _component_sets(components):
+    return [frozenset(c) for c in components]
+
+
+class TestBasics:
+    def test_chain_has_only_trivial_components(self, machine):
+        graph = chain_graph(machine, ["fadd", "fmul", "fadd"])
+        components = strongly_connected_components(graph)
+        assert all(len(c) == 1 for c in components)
+        assert len(components) == graph.n_ops
+
+    def test_recurrence_forms_trivial_self_component(self, machine):
+        graph = reduction_graph(machine)
+        components = _component_sets(strongly_connected_components(graph))
+        # The self-loop on the accumulator is still a singleton SCC.
+        assert frozenset({2}) in components
+
+    def test_two_op_circuit_is_one_component(self, machine):
+        graph = cross_iteration_graph(machine)
+        components = _component_sets(strongly_connected_components(graph))
+        assert frozenset({1, 2}) in components
+
+    def test_every_operation_in_exactly_one_component(self, machine):
+        graph = cross_iteration_graph(machine)
+        components = strongly_connected_components(graph)
+        seen = [op for c in components for op in c]
+        assert sorted(seen) == list(range(graph.n_ops))
+
+
+class TestOrdering:
+    def test_reverse_topological_emission(self, machine):
+        graph = chain_graph(machine, ["fadd", "fmul"])
+        components = strongly_connected_components(graph)
+        position = {frozenset(c): i for i, c in enumerate(map(frozenset, components))}
+        # STOP (a successor of everything) must be emitted before START.
+        assert position[frozenset({graph.stop})] < position[frozenset({graph.START})]
+
+    def test_condensation_order_is_reversed(self, machine):
+        graph = chain_graph(machine, ["fadd"])
+        forward = condensation_order(graph)
+        backward = strongly_connected_components(graph)
+        assert forward == list(reversed(backward))
+
+    def test_successor_component_before_predecessor(self, machine):
+        graph = cross_iteration_graph(machine)
+        components = list(map(frozenset, strongly_connected_components(graph)))
+        scc_index = components.index(frozenset({1, 2}))
+        stop_index = components.index(frozenset({graph.stop}))
+        assert stop_index < scc_index
+
+
+class TestHelpers:
+    def test_nontrivial_filter(self, machine):
+        graph = cross_iteration_graph(machine)
+        nontrivial = nontrivial_components(
+            strongly_connected_components(graph)
+        )
+        assert nontrivial == [sorted(nontrivial[0])] or len(nontrivial) == 1
+
+    def test_counters_accumulate(self, machine):
+        graph = chain_graph(machine, ["fadd", "fadd"])
+        counters = Counters()
+        strongly_connected_components(graph, counters)
+        assert counters.scc_steps >= graph.n_ops
+
+    def test_large_chain_does_not_recurse(self, machine):
+        # An iterative implementation must handle graphs deeper than
+        # Python's recursion limit.
+        graph = chain_graph(machine, ["fadd"] * 2000)
+        components = strongly_connected_components(graph)
+        assert len(components) == graph.n_ops

@@ -1,0 +1,63 @@
+"""Schedule objects: stages, kernel layout, rendering."""
+
+import pytest
+
+from repro.core import modulo_schedule
+from repro.machine import single_alu_machine
+
+from tests.conftest import chain_graph, reduction_graph
+
+
+@pytest.fixture
+def alu():
+    return single_alu_machine()
+
+
+class TestGeometry:
+    def test_stage_and_slot(self, alu):
+        graph = reduction_graph(alu)
+        result = modulo_schedule(graph, alu)
+        schedule = result.schedule
+        for op in range(graph.n_ops):
+            t = schedule.times[op]
+            assert schedule.stage(op) == t // schedule.ii
+            assert schedule.slot(op) == t % schedule.ii
+
+    def test_stage_count_covers_schedule_length(self, alu):
+        graph = chain_graph(alu, ["fmul"] * 3)
+        schedule = modulo_schedule(graph, alu).schedule
+        assert schedule.stage_count * schedule.ii >= schedule.schedule_length
+
+    def test_empty_loop_has_one_stage(self, alu):
+        from repro.ir import DependenceGraph
+        from repro.core.schedule import Schedule
+
+        graph = DependenceGraph(alu).seal()
+        schedule = Schedule(graph, 1, {graph.START: 0, graph.stop: 0}, {})
+        assert schedule.stage_count == 1
+        assert schedule.schedule_length == 0
+
+
+class TestKernelRows:
+    def test_every_real_op_in_exactly_one_row(self, alu):
+        graph = chain_graph(alu, ["fadd"] * 4)
+        schedule = modulo_schedule(graph, alu).schedule
+        rows = schedule.kernel_rows()
+        assert len(rows) == schedule.ii
+        ops = [op for row in rows for op, _ in row]
+        assert sorted(ops) == list(range(1, 5))
+
+    def test_ops_at_excludes_pseudo(self, alu):
+        graph = chain_graph(alu, ["fadd"])
+        schedule = modulo_schedule(graph, alu).schedule
+        assert graph.START not in schedule.ops_at(0)
+
+
+class TestDescribe:
+    def test_describe_mentions_ii_sl_and_kernel(self, alu):
+        graph = chain_graph(alu, ["fmul", "fadd"])
+        schedule = modulo_schedule(graph, alu).schedule
+        text = schedule.describe()
+        assert f"II={schedule.ii}" in text
+        assert "kernel" in text
+        assert "fmul" in text

@@ -1,0 +1,104 @@
+"""Scheduling traces and the forward-progress invariant."""
+
+import pytest
+
+from repro.core import modulo_schedule
+from repro.core.trace import ScheduleTrace, TraceEvent
+from repro.ir import DependenceGraph
+from repro.machine import bus_conflict_machine, cydra5, single_alu_machine
+from repro.workloads import synthetic_graph
+
+from tests.conftest import chain_graph
+
+
+@pytest.fixture
+def alu():
+    return single_alu_machine()
+
+
+class TestRecording:
+    def test_every_final_placement_traced(self, alu):
+        graph = chain_graph(alu, ["fadd", "fmul", "fadd"])
+        trace = ScheduleTrace()
+        result = modulo_schedule(graph, alu, trace=trace)
+        final_placements = {}
+        for event in trace.placements():
+            final_placements[event.op] = event.time
+        for op, time in result.schedule.times.items():
+            if op == graph.START:
+                continue
+            assert final_placements[op] == time
+
+    def test_attempt_events_track_ii_search(self, alu):
+        graph = chain_graph(alu, ["fadd"] * 3)
+        trace = ScheduleTrace()
+        result = modulo_schedule(graph, alu, trace=trace)
+        assert trace.attempts()[0] == result.mii_result.mii
+        assert trace.attempts()[-1] == result.ii
+
+    def test_picks_precede_placements(self, alu):
+        graph = chain_graph(alu, ["fadd", "fadd"])
+        trace = ScheduleTrace()
+        modulo_schedule(graph, alu, trace=trace)
+        kinds = [e.kind for e in trace.events]
+        first_pick = kinds.index("pick")
+        first_place = kinds.index("place")
+        assert first_pick < first_place
+
+    def test_displacements_name_the_culprit(self):
+        machine = bus_conflict_machine()
+        graph = DependenceGraph(machine)
+        for i in range(4):
+            graph.add_operation("fmul", dest=f"m{i}")
+            graph.add_operation("fadd", dest=f"a{i}")
+        graph.seal()
+        trace = ScheduleTrace()
+        modulo_schedule(graph, machine, budget_ratio=8.0, trace=trace)
+        for event in trace.displacements():
+            assert event.detail.startswith("by op")
+
+    def test_render_includes_opcodes(self, alu):
+        graph = chain_graph(alu, ["fmul"])
+        trace = ScheduleTrace()
+        modulo_schedule(graph, alu, trace=trace)
+        assert "fmul" in trace.render(graph)
+
+    def test_render_limit(self, alu):
+        graph = chain_graph(alu, ["fadd"] * 10)
+        trace = ScheduleTrace()
+        modulo_schedule(graph, alu, trace=trace)
+        assert "more events" in trace.render(graph, limit=2)
+
+
+class TestForwardProgress:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_invariant_on_synthetic_corpus(self, seed):
+        """Figure 4's rule: a forced placement never reuses the slot the
+        operation last held (within one IterativeSchedule attempt)."""
+        machine = cydra5()
+        graph = synthetic_graph(machine, seed=seed)
+        trace = ScheduleTrace()
+        modulo_schedule(graph, machine, budget_ratio=6.0, trace=trace)
+        assert trace.forward_progress_holds()
+
+    def test_detects_violation_in_fabricated_trace(self):
+        trace = ScheduleTrace()
+        trace.attempt(3)
+        trace.place(5, 7, "alu")
+        trace.force(5, 7)  # re-placed at the very same slot: violation
+        assert not trace.forward_progress_holds()
+
+    def test_accepts_replacement_at_new_slot(self):
+        trace = ScheduleTrace()
+        trace.attempt(3)
+        trace.place(5, 7, "alu")
+        trace.force(5, 8)
+        assert trace.forward_progress_holds()
+
+    def test_attempts_reset_history(self):
+        trace = ScheduleTrace()
+        trace.attempt(3)
+        trace.place(5, 7, "alu")
+        trace.attempt(4)
+        trace.force(5, 7)  # new attempt: same slot is fine
+        assert trace.forward_progress_holds()

@@ -1,0 +1,87 @@
+"""Table 1: delay formulae for flow, anti and output dependences."""
+
+import pytest
+
+from repro.ir import DelayModel, DependenceEdge, DependenceKind, edge_delay
+
+
+class TestFlowDelay:
+    def test_flow_equals_predecessor_latency(self):
+        assert edge_delay(DependenceKind.FLOW, 4, 1) == 4
+
+    def test_flow_is_model_independent(self):
+        vliw = edge_delay(DependenceKind.FLOW, 7, 2, DelayModel.VLIW)
+        cons = edge_delay(DependenceKind.FLOW, 7, 2, DelayModel.CONSERVATIVE)
+        assert vliw == cons == 7
+
+    def test_control_behaves_like_flow(self):
+        assert edge_delay(DependenceKind.CONTROL, 3, 1) == 3
+
+    def test_zero_latency_flow(self):
+        assert edge_delay(DependenceKind.FLOW, 0, 5) == 0
+
+
+class TestAntiDelay:
+    def test_vliw_anti_is_one_minus_successor_latency(self):
+        assert edge_delay(DependenceKind.ANTI, 4, 3, DelayModel.VLIW) == -2
+
+    def test_vliw_anti_with_unit_successor_is_zero(self):
+        assert edge_delay(DependenceKind.ANTI, 9, 1, DelayModel.VLIW) == 0
+
+    def test_conservative_anti_is_zero(self):
+        assert edge_delay(DependenceKind.ANTI, 4, 3, DelayModel.CONSERVATIVE) == 0
+
+    def test_anti_ignores_predecessor_latency(self):
+        assert edge_delay(DependenceKind.ANTI, 1, 5, DelayModel.VLIW) == edge_delay(
+            DependenceKind.ANTI, 20, 5, DelayModel.VLIW
+        )
+
+
+class TestOutputDelay:
+    def test_vliw_output_formula(self):
+        # 1 + Latency(pred) - Latency(succ)
+        assert edge_delay(DependenceKind.OUTPUT, 4, 2, DelayModel.VLIW) == 3
+
+    def test_vliw_output_can_be_negative(self):
+        assert edge_delay(DependenceKind.OUTPUT, 1, 5, DelayModel.VLIW) == -3
+
+    def test_conservative_output_is_pred_latency(self):
+        assert (
+            edge_delay(DependenceKind.OUTPUT, 4, 2, DelayModel.CONSERVATIVE) == 4
+        )
+
+    def test_equal_latencies_give_unit_delay(self):
+        assert edge_delay(DependenceKind.OUTPUT, 3, 3, DelayModel.VLIW) == 1
+
+
+class TestValidation:
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            edge_delay(DependenceKind.FLOW, -1, 0)
+
+    def test_negative_successor_latency_rejected(self):
+        with pytest.raises(ValueError):
+            edge_delay(DependenceKind.ANTI, 1, -2)
+
+
+class TestDependenceEdge:
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            DependenceEdge(0, 1, DependenceKind.FLOW, -1, 0)
+
+    def test_edge_is_frozen(self):
+        edge = DependenceEdge(0, 1, DependenceKind.FLOW, 0, 2)
+        with pytest.raises(AttributeError):
+            edge.delay = 5
+
+    def test_describe_mentions_all_attributes(self):
+        edge = DependenceEdge(3, 7, DependenceKind.ANTI, 2, -1)
+        text = edge.describe()
+        assert "3 -> 7" in text
+        assert "anti" in text
+        assert "distance=2" in text
+        assert "delay=-1" in text
+
+    def test_negative_delay_allowed(self):
+        edge = DependenceEdge(0, 1, DependenceKind.ANTI, 0, -4)
+        assert edge.delay == -4

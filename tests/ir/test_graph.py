@@ -1,0 +1,160 @@
+"""Dependence graph construction, sealing, and queries."""
+
+import pytest
+
+from repro.ir import DelayModel, DependenceGraph, DependenceKind, GraphError
+from repro.machine import single_alu_machine
+
+
+@pytest.fixture
+def machine():
+    return single_alu_machine()
+
+
+class TestConstruction:
+    def test_start_exists_from_the_beginning(self, machine):
+        graph = DependenceGraph(machine)
+        assert graph.operation(0).is_start
+        assert graph.n_ops == 1
+
+    def test_add_operation_returns_consecutive_indices(self, machine):
+        graph = DependenceGraph(machine)
+        assert graph.add_operation("fadd") == 1
+        assert graph.add_operation("fmul") == 2
+
+    def test_unknown_opcode_rejected_at_add(self, machine):
+        graph = DependenceGraph(machine)
+        with pytest.raises(Exception):
+            graph.add_operation("no_such_opcode")
+
+    def test_pseudo_opcodes_cannot_be_added_manually(self, machine):
+        graph = DependenceGraph(machine)
+        with pytest.raises(GraphError):
+            graph.add_operation("__start__")
+
+    def test_edge_delay_defaults_to_table1_flow(self, machine):
+        graph = DependenceGraph(machine)
+        a = graph.add_operation("fmul")  # latency 3 on single_alu
+        b = graph.add_operation("fadd")
+        edge = graph.add_edge(a, b, DependenceKind.FLOW)
+        assert edge.delay == machine.latency("fmul")
+
+    def test_edge_delay_respects_conservative_model(self, machine):
+        graph = DependenceGraph(machine, delay_model=DelayModel.CONSERVATIVE)
+        a = graph.add_operation("fadd")
+        b = graph.add_operation("fmul")
+        edge = graph.add_edge(a, b, DependenceKind.ANTI)
+        assert edge.delay == 0
+
+    def test_explicit_delay_overrides_formula(self, machine):
+        graph = DependenceGraph(machine)
+        a = graph.add_operation("fadd")
+        b = graph.add_operation("fadd")
+        edge = graph.add_edge(a, b, DependenceKind.FLOW, delay=9)
+        assert edge.delay == 9
+
+    def test_edges_to_start_rejected(self, machine):
+        graph = DependenceGraph(machine)
+        a = graph.add_operation("fadd")
+        with pytest.raises(GraphError):
+            graph.add_edge(a, 0, DependenceKind.FLOW)
+
+    def test_out_of_range_index_rejected(self, machine):
+        graph = DependenceGraph(machine)
+        a = graph.add_operation("fadd")
+        with pytest.raises(GraphError):
+            graph.add_edge(a, 99, DependenceKind.FLOW)
+
+
+class TestSealing:
+    def test_seal_appends_stop(self, machine):
+        graph = DependenceGraph(machine)
+        graph.add_operation("fadd")
+        graph.seal()
+        assert graph.operation(graph.stop).is_stop
+        assert graph.n_ops == 3
+
+    def test_seal_brackets_every_real_op(self, machine):
+        graph = DependenceGraph(machine)
+        a = graph.add_operation("fadd")
+        b = graph.add_operation("fmul")
+        graph.seal()
+        assert graph.START in graph.preds(a)
+        assert graph.START in graph.preds(b)
+        assert graph.stop in graph.succs(a)
+        assert graph.stop in graph.succs(b)
+
+    def test_stop_edge_delay_is_latency(self, machine):
+        graph = DependenceGraph(machine)
+        a = graph.add_operation("fmul")
+        graph.seal()
+        stop_edges = [e for e in graph.succ_edges(a) if e.succ == graph.stop]
+        assert stop_edges[0].delay == machine.latency("fmul")
+
+    def test_sealed_graph_rejects_mutation(self, machine):
+        graph = DependenceGraph(machine)
+        graph.add_operation("fadd")
+        graph.seal()
+        with pytest.raises(GraphError):
+            graph.add_operation("fadd")
+        with pytest.raises(GraphError):
+            graph.seal()
+
+    def test_stop_before_seal_raises(self, machine):
+        graph = DependenceGraph(machine)
+        with pytest.raises(GraphError):
+            graph.stop
+
+    def test_empty_body_gets_start_stop_edge(self, machine):
+        graph = DependenceGraph(machine).seal()
+        assert graph.n_ops == 2
+        assert graph.stop in graph.succs(graph.START)
+
+
+class TestQueries:
+    def test_n_real_ops_excludes_pseudo(self, machine):
+        graph = DependenceGraph(machine)
+        graph.add_operation("fadd")
+        graph.add_operation("fmul")
+        assert graph.n_real_ops == 2
+        graph.seal()
+        assert graph.n_real_ops == 2
+        assert graph.n_ops == 4
+
+    def test_latency_of_pseudo_is_zero(self, machine):
+        graph = DependenceGraph(machine)
+        graph.add_operation("fadd")
+        graph.seal()
+        assert graph.latency(graph.START) == 0
+        assert graph.latency(graph.stop) == 0
+
+    def test_pred_and_succ_edges_are_symmetric_views(self, machine):
+        graph = DependenceGraph(machine)
+        a = graph.add_operation("fadd")
+        b = graph.add_operation("fadd")
+        edge = graph.add_edge(a, b, DependenceKind.FLOW, distance=2)
+        assert edge in graph.succ_edges(a)
+        assert edge in graph.pred_edges(b)
+
+    def test_multiple_edges_between_same_pair(self, machine):
+        graph = DependenceGraph(machine)
+        a = graph.add_operation("fadd")
+        b = graph.add_operation("fadd")
+        graph.add_edge(a, b, DependenceKind.FLOW)
+        graph.add_edge(a, b, DependenceKind.ANTI, distance=1)
+        assert len([e for e in graph.succ_edges(a) if e.succ == b]) == 2
+
+    def test_describe_lists_ops_and_edges(self, machine):
+        graph = DependenceGraph(machine, name="g")
+        a = graph.add_operation("fadd", dest="x")
+        graph.seal()
+        text = graph.describe()
+        assert "fadd" in text
+        assert "->" in text
+
+    def test_real_operations_iterator(self, machine):
+        graph = DependenceGraph(machine)
+        graph.add_operation("fadd")
+        graph.seal()
+        names = [op.opcode for op in graph.real_operations()]
+        assert names == ["fadd"]

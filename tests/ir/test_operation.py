@@ -1,0 +1,49 @@
+"""Operations: pseudo detection, register use lists, rendering."""
+
+from repro.ir import Operation
+from repro.ir.operation import START_OPCODE, STOP_OPCODE
+
+
+class TestPseudo:
+    def test_start_is_pseudo(self):
+        assert Operation(0, START_OPCODE).is_pseudo
+        assert Operation(0, START_OPCODE).is_start
+
+    def test_stop_is_pseudo(self):
+        op = Operation(9, STOP_OPCODE)
+        assert op.is_pseudo and op.is_stop and not op.is_start
+
+    def test_real_operation_is_not_pseudo(self):
+        op = Operation(1, "fadd", dest="x", srcs=("a", "b"))
+        assert not op.is_pseudo
+
+
+class TestReads:
+    def test_reads_without_predicate(self):
+        op = Operation(1, "fadd", dest="x", srcs=("a", "b"))
+        assert op.reads() == ("a", "b")
+
+    def test_reads_includes_predicate(self):
+        op = Operation(1, "store", srcs=("addr", "v"), predicate="p")
+        assert op.reads() == ("addr", "v", "p")
+
+    def test_reads_empty(self):
+        assert Operation(1, "brtop").reads() == ()
+
+
+class TestDescribe:
+    def test_describe_contains_index_and_opcode(self):
+        text = Operation(4, "fmul", dest="t", srcs=("a",)).describe()
+        assert "#4" in text
+        assert "fmul" in text
+        assert "t <-" in text
+
+    def test_describe_shows_predicate(self):
+        text = Operation(2, "store", srcs=("v",), predicate="p1").describe()
+        assert "if p1" in text
+
+    def test_attrs_default_is_independent(self):
+        first = Operation(0, "fadd")
+        second = Operation(1, "fadd")
+        first.attrs["x"] = 1
+        assert "x" not in second.attrs

@@ -1,0 +1,126 @@
+"""Minimal counterexamples the whole-stack fuzzer found, pinned forever.
+
+Each test is a shrunk hypothesis counterexample that exposed a real bug
+during development; they run as plain examples so the bugs can never
+quietly return (see docs/VERIFICATION.md for the stories).
+"""
+
+import pytest
+
+from repro.core import modulo_schedule
+from repro.loopir import compile_loop_full
+from repro.loopir.ast import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    Compare,
+    If,
+    IndirectRef,
+    IVar,
+    Loop,
+    Num,
+    Scalar,
+    Store,
+)
+from repro.loopir.ifconv import if_convert
+from repro.loopir.lower import lower_loop
+from repro.machine import cydra5, two_alu_machine
+from repro.simulator import check_equivalence
+
+
+def _verify(loop_or_source, machine, n=13, seeds=(0, 1, 2, 5)):
+    if isinstance(loop_or_source, str):
+        lowered = compile_loop_full(loop_or_source, machine, name="regression")
+    else:
+        lowered = lower_loop(loop_or_source, if_convert(loop_or_source), machine)
+    result = modulo_schedule(lowered.graph, machine, budget_ratio=6.0)
+    for seed in seeds:
+        report = check_equivalence(lowered, result.schedule, n=n, seed=seed)
+        assert report.ok, report.describe()
+
+
+@pytest.fixture(params=[cydra5, two_alu_machine])
+def machine(request):
+    return request.param()
+
+
+class TestFuzzRegressions:
+    def test_find1_assign_from_induction_variable(self, machine):
+        """``s = i`` aliased the scalar to the induction recurrence and
+        dropped its distance-1 read semantics."""
+        _verify("for i in n:\n    s = i\n", machine)
+
+    def test_find2_else_guard_staleness(self, machine):
+        """The else-branch re-evaluated its condition after the
+        then-branch redefined the scalar the condition reads."""
+        _verify(
+            "for i in n:\n"
+            "    if 0.0 < s:\n"
+            "        s = 0.0\n"
+            "    else:\n"
+            "        s = 1.0\n",
+            machine,
+        )
+
+    def test_find3_while_condition_array_missing(self, machine):
+        """An array read only by the while-condition was absent from
+        Loop.arrays(), so the simulators had no storage for it."""
+        _verify("for i in n while 0.0 < a[i]:\n    s = 0.0\n", machine)
+
+    def test_find4_carried_scalar_aliasing(self, machine):
+        """Two loop-carried scalars aliased to one defining op collapsed
+        their distinct initial values."""
+        loop = Loop(
+            ivar="i",
+            trip="n",
+            body=[
+                If(
+                    Compare("<", Scalar("s"), Num(0.0)),
+                    [Assign("u", Num(0.0))],
+                    [],
+                ),
+                Assign("s", Scalar("u")),
+            ],
+            name="alias",
+        )
+        _verify(loop, machine)
+
+    def test_find5_stale_indirect_condition(self, machine):
+        """A cached predicate reading an array *indirectly* was not
+        invalidated by a store to that array."""
+
+        def cond():
+            return Compare(
+                ">",
+                BinOp(
+                    "-",
+                    Call("neg", (Scalar("t"),)),
+                    Call("abs", (IVar(),)),
+                ),
+                IndirectRef("c", ArrayRef("idx", 1)),
+            )
+
+        loop = Loop(
+            ivar="i",
+            trip="n",
+            body=[
+                Assign("s", Num(0.0)),
+                If(cond(), [Assign("s", Num(0.0))], []),
+                Store("c", 0, Num(0.0)),
+                If(cond(), [Assign("u", ArrayRef("a", 0))], []),
+            ],
+            name="stale",
+        )
+        _verify(loop, machine, n=11)
+
+    def test_pass_through_chain_of_aliases(self, machine):
+        """Deeper variant of find 4: a chain of pass-throughs."""
+        _verify(
+            "for i in n:\n"
+            "    t = u\n"
+            "    u = s\n"
+            "    s = x[i]\n"
+            "    y[i] = t + u + s\n",
+            machine,
+        )

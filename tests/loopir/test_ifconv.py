@@ -1,0 +1,145 @@
+"""IF-conversion: guards are the conjunction of dominating conditions,
+and every branch condition is pinned at its If's program point."""
+
+from repro.loopir import if_convert, parse_loop
+from repro.loopir.ast import Assign, BoolOp, Compare, NotOp, Store
+from repro.loopir.ifconv import CondEvaluation, PredicatedStatement
+
+
+def _convert(text):
+    return if_convert(parse_loop(text))
+
+
+def _guarded(entries):
+    return [e for e in entries if isinstance(e, PredicatedStatement)]
+
+
+def _markers(entries):
+    return [e for e in entries if isinstance(e, CondEvaluation)]
+
+
+class TestFlattening:
+    def test_unguarded_statements_pass_through(self):
+        statements = _guarded(
+            _convert("for i in n:\n    t = 1.0\n    a[i] = t\n")
+        )
+        assert [s.guard for s in statements] == [None, None]
+        assert isinstance(statements[0].statement, Assign)
+        assert isinstance(statements[1].statement, Store)
+
+    def test_then_branch_guarded_by_condition(self):
+        statements = _guarded(
+            _convert("for i in n:\n    if x > 0.0:\n        t = 1.0\n")
+        )
+        assert isinstance(statements[0].guard, Compare)
+
+    def test_else_branch_guarded_by_negation(self):
+        statements = _guarded(
+            _convert(
+                "for i in n:\n"
+                "    if x > 0.0:\n"
+                "        t = 1.0\n"
+                "    else:\n"
+                "        t = 2.0\n"
+            )
+        )
+        assert isinstance(statements[1].guard, NotOp)
+        assert statements[1].guard.operand is statements[0].guard
+
+    def test_nested_guards_conjoin(self):
+        statements = _guarded(
+            _convert(
+                "for i in n:\n"
+                "    if x > 0.0:\n"
+                "        if y > 0.0:\n"
+                "            t = 1.0\n"
+            )
+        )
+        guard = statements[0].guard
+        assert isinstance(guard, BoolOp) and guard.op == "and"
+
+    def test_statement_order_preserved(self):
+        statements = _guarded(
+            _convert(
+                "for i in n:\n"
+                "    a[i] = 1.0\n"
+                "    if x > 0.0:\n"
+                "        b[i] = 2.0\n"
+                "    c[i] = 3.0\n"
+            )
+        )
+        arrays = [s.statement.array for s in statements]
+        assert arrays == ["a", "b", "c"]
+
+    def test_no_branches_remain(self):
+        entries = _convert(
+            "for i in n:\n"
+            "    if x > 0.0:\n"
+            "        if y > 0.0:\n"
+            "            a[i] = 1.0\n"
+            "        else:\n"
+            "            a[i] = 2.0\n"
+            "    else:\n"
+            "        a[i] = 3.0\n"
+        )
+        statements = _guarded(entries)
+        assert all(
+            isinstance(s.statement, (Assign, Store)) for s in statements
+        )
+        assert len(statements) == 3
+
+
+class TestCondEvaluationMarkers:
+    def test_one_marker_per_if_in_program_order(self):
+        entries = _convert(
+            "for i in n:\n"
+            "    if x > 0.0:\n"
+            "        t = 1.0\n"
+            "    if y > 0.0:\n"
+            "        t = 2.0\n"
+        )
+        markers = _markers(entries)
+        assert len(markers) == 2
+        assert isinstance(entries[0], CondEvaluation)
+
+    def test_marker_precedes_its_guarded_statements(self):
+        entries = _convert(
+            "for i in n:\n    if x > 0.0:\n        t = 1.0\n"
+        )
+        marker_pos = next(
+            i for i, e in enumerate(entries) if isinstance(e, CondEvaluation)
+        )
+        stmt_pos = next(
+            i
+            for i, e in enumerate(entries)
+            if isinstance(e, PredicatedStatement) and e.guard is not None
+        )
+        assert marker_pos < stmt_pos
+
+    def test_guards_share_the_marked_node(self):
+        """Then- and else-guards must reference the very node the marker
+        evaluates, so lowering pins one predicate for both."""
+        entries = _convert(
+            "for i in n:\n"
+            "    if x > 0.0:\n"
+            "        t = 1.0\n"
+            "    else:\n"
+            "        t = 2.0\n"
+        )
+        marker = _markers(entries)[0]
+        then_stmt, else_stmt = _guarded(entries)
+        assert then_stmt.guard is marker.cond
+        assert else_stmt.guard.operand is marker.cond
+
+    def test_nested_marker_order(self):
+        entries = _convert(
+            "for i in n:\n"
+            "    if x > 0.0:\n"
+            "        if y > 0.0:\n"
+            "            t = 1.0\n"
+        )
+        markers = _markers(entries)
+        assert len(markers) == 2
+        # Outer first, inner second.
+        assert isinstance(entries[0], CondEvaluation)
+        assert isinstance(entries[1], CondEvaluation)

@@ -1,0 +1,260 @@
+"""Lowering: DSA form, address recurrences, memory dependence distances."""
+
+import pytest
+
+from repro.ir import DependenceKind
+from repro.loopir import LoweringError, compile_loop_full
+from repro.machine import single_alu_machine
+
+
+@pytest.fixture
+def machine():
+    return single_alu_machine()
+
+
+def _ops_by_opcode(graph, opcode):
+    return [op for op in graph.real_operations() if op.opcode == opcode]
+
+
+def _edges_between(graph, pred, succ):
+    return [e for e in graph.succ_edges(pred) if e.succ == succ]
+
+
+class TestAddressRecurrences:
+    def test_one_address_increment_per_array(self, machine):
+        lowered = compile_loop_full(
+            "for i in n:\n    c[i] = a[i] + a[i+1] + b[i]\n", machine
+        )
+        aadds = [
+            op
+            for op in lowered.graph.real_operations()
+            if op.attrs.get("role") == "address"
+        ]
+        assert len(aadds) == 3  # a, b, c
+
+    def test_address_has_distance_one_self_loop(self, machine):
+        lowered = compile_loop_full("for i in n:\n    b[i] = a[i]\n", machine)
+        for op in lowered.graph.real_operations():
+            if op.attrs.get("role") != "address":
+                continue
+            self_edges = _edges_between(lowered.graph, op.index, op.index)
+            assert len(self_edges) == 1
+            assert self_edges[0].distance == 1
+
+    def test_memory_ops_depend_on_address_at_distance_one(self, machine):
+        lowered = compile_loop_full("for i in n:\n    b[i] = a[i]\n", machine)
+        graph = lowered.graph
+        load = _ops_by_opcode(graph, "load")[0]
+        addr_edges = [
+            e
+            for e in graph.pred_edges(load.index)
+            if graph.operation(e.pred).attrs.get("role") == "address"
+        ]
+        assert addr_edges and addr_edges[0].distance == 1
+
+
+class TestScalarDSA:
+    def test_no_scalar_anti_or_output_edges(self, machine):
+        lowered = compile_loop_full(
+            "for i in n:\n    t = a[i]\n    t = t + 1.0\n    b[i] = t\n",
+            machine,
+        )
+        for edge in lowered.graph.edges:
+            pred = lowered.graph.operation(edge.pred)
+            succ = lowered.graph.operation(edge.succ)
+            if pred.opcode in ("load", "store") and succ.opcode in (
+                "load",
+                "store",
+            ):
+                continue  # memory edges may be anti/output
+            assert edge.kind in (DependenceKind.FLOW,), edge
+
+    def test_loop_carried_scalar_distance_one(self, machine):
+        lowered = compile_loop_full(
+            "for i in n:\n    s = s + a[i]\n", machine
+        )
+        graph = lowered.graph
+        assert "s" in lowered.carried_defs
+        definition = lowered.carried_defs["s"]
+        carried = [
+            e
+            for e in graph.succ_edges(definition)
+            if e.distance == 1 and e.succ == definition
+        ]
+        assert carried, "final def must feed its own next-iteration read"
+
+    def test_loop_invariant_becomes_livein(self, machine):
+        lowered = compile_loop_full(
+            "for i in n:\n    b[i] = q * a[i]\n", machine
+        )
+        assert "q" in lowered.live_in_scalars
+        assert "q" not in lowered.carried_defs
+
+    def test_final_defs_cover_all_assigned_scalars(self, machine):
+        lowered = compile_loop_full(
+            "for i in n:\n    t = a[i]\n    s = s + t\n", machine
+        )
+        assert set(lowered.final_defs) == {"t", "s"}
+
+    def test_redefinition_within_iteration_uses_latest(self, machine):
+        lowered = compile_loop_full(
+            "for i in n:\n    t = a[i]\n    t = t * 2.0\n    b[i] = t\n",
+            machine,
+        )
+        graph = lowered.graph
+        store = _ops_by_opcode(graph, "store")[0]
+        mul = _ops_by_opcode(graph, "fmul")[0]
+        assert _edges_between(graph, mul.index, store.index)
+
+    def test_constant_assignment_materializes_limm(self, machine):
+        lowered = compile_loop_full(
+            "for i in n:\n    t = 3.0\n    b[i] = t\n", machine
+        )
+        assert _ops_by_opcode(lowered.graph, "limm")
+
+
+class TestMemoryDependences:
+    def _mem_edges(self, lowered):
+        """Memory-analysis edges: both ends reference the *same* array.
+
+        (A load feeding a store's value operand is plain data flow, not a
+        memory dependence.)
+        """
+        graph = lowered.graph
+        edges = []
+        for edge in graph.edges:
+            pred = graph.operation(edge.pred)
+            succ = graph.operation(edge.succ)
+            if (
+                pred.opcode in ("load", "store")
+                and succ.opcode in ("load", "store")
+                and pred.attrs.get("array") == succ.attrs.get("array")
+            ):
+                edges.append(edge)
+        return edges
+
+    def test_store_to_load_flow_distance(self, machine):
+        # a[i+1] written, a[i] read => the load reads what was stored one
+        # iteration earlier: flow store->load at distance 1.
+        lowered = compile_loop_full(
+            "for i in n:\n    a[i+1] = b[i]\n    c[i] = a[i]\n", machine
+        )
+        edges = self._mem_edges(lowered)
+        flows = [e for e in edges if e.kind is DependenceKind.FLOW]
+        assert any(e.distance == 1 for e in flows)
+
+    def test_load_then_store_same_iteration_is_anti(self, machine):
+        lowered = compile_loop_full(
+            "for i in n:\n    t = a[i]\n    a[i] = t + 1.0\n", machine
+        )
+        edges = self._mem_edges(lowered)
+        antis = [e for e in edges if e.kind is DependenceKind.ANTI]
+        assert any(e.distance == 0 for e in antis)
+
+    def test_forward_anti_dependence_distance(self, machine):
+        # load a[i+2] before store a[i]: the store two iterations later
+        # overwrites what was read: anti load->store distance 2.
+        lowered = compile_loop_full(
+            "for i in n:\n    t = a[i+2]\n    a[i] = t * 0.5\n", machine
+        )
+        edges = self._mem_edges(lowered)
+        antis = [e for e in edges if e.kind is DependenceKind.ANTI]
+        assert any(e.distance == 2 for e in antis)
+
+    def test_recurrent_store_load_pair(self, machine):
+        # x[i] = x[i-1] + ... : flow from the store to next iteration's load.
+        lowered = compile_loop_full(
+            "for i in n:\n    x[i] = x[i-1] + y[i]\n", machine
+        )
+        edges = self._mem_edges(lowered)
+        assert any(
+            e.kind is DependenceKind.FLOW and e.distance == 1 for e in edges
+        )
+
+    def test_independent_arrays_have_no_memory_edges(self, machine):
+        lowered = compile_loop_full(
+            "for i in n:\n    b[i] = a[i]\n", machine
+        )
+        assert self._mem_edges(lowered) == []
+
+    def test_load_load_pairs_never_create_edges(self, machine):
+        lowered = compile_loop_full(
+            "for i in n:\n    c[i] = a[i] + a[i+1]\n", machine
+        )
+        edges = self._mem_edges(lowered)
+        for edge in edges:
+            pred = lowered.graph.operation(edge.pred)
+            succ = lowered.graph.operation(edge.succ)
+            assert "store" in (pred.opcode, succ.opcode)
+
+
+class TestPredication:
+    def test_guarded_store_is_predicated(self, machine):
+        lowered = compile_loop_full(
+            "for i in n:\n    if a[i] > 0.0:\n        b[i] = a[i]\n",
+            machine,
+        )
+        store = _ops_by_opcode(lowered.graph, "store")[0]
+        assert store.predicate is not None
+        assert store.attrs["predicated"] is True
+
+    def test_guarded_assign_becomes_select(self, machine):
+        lowered = compile_loop_full(
+            "for i in n:\n    if a[i] > 0.0:\n        s = s + a[i]\n",
+            machine,
+        )
+        assert _ops_by_opcode(lowered.graph, "select")
+
+    def test_else_guard_materializes_pnot(self, machine):
+        lowered = compile_loop_full(
+            "for i in n:\n"
+            "    if a[i] > 0.0:\n"
+            "        s = s + 1.0\n"
+            "    else:\n"
+            "        s = s - 1.0\n",
+            machine,
+        )
+        assert _ops_by_opcode(lowered.graph, "pnot")
+
+    def test_shared_condition_compiled_once(self, machine):
+        lowered = compile_loop_full(
+            "for i in n:\n"
+            "    if a[i] > 0.0:\n"
+            "        s = s + 1.0\n"
+            "    else:\n"
+            "        t = t - 1.0\n",
+            machine,
+        )
+        cmps = _ops_by_opcode(lowered.graph, "cmp_gt")
+        assert len(cmps) == 1
+
+    def test_boolean_guard_uses_pand(self, machine):
+        lowered = compile_loop_full(
+            "for i in n:\n"
+            "    if a[i] > 0.0 and a[i] < 1.0:\n"
+            "        b[i] = a[i]\n",
+            machine,
+        )
+        assert _ops_by_opcode(lowered.graph, "pand")
+
+
+class TestLoopControl:
+    def test_brtop_present_with_self_loop(self, machine):
+        lowered = compile_loop_full("for i in n:\n    b[i] = a[i]\n", machine)
+        brtops = _ops_by_opcode(lowered.graph, "brtop")
+        assert len(brtops) == 1
+        self_edges = _edges_between(
+            lowered.graph, brtops[0].index, brtops[0].index
+        )
+        assert self_edges[0].distance == 1
+
+    def test_ivar_used_as_value_gets_recurrence(self, machine):
+        lowered = compile_loop_full(
+            "for i in n:\n    b[i] = 0.5 * i\n", machine
+        )
+        ivars = [
+            op
+            for op in lowered.graph.real_operations()
+            if op.attrs.get("role") == "ivar"
+        ]
+        assert len(ivars) == 1

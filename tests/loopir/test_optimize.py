@@ -1,0 +1,183 @@
+"""Value numbering (CSE) and dead-code elimination."""
+
+import pytest
+
+from repro.core import modulo_schedule
+from repro.loopir import compile_loop_full, eliminate_dead_code
+from repro.machine import cydra5, single_alu_machine
+from repro.simulator import check_equivalence
+
+
+@pytest.fixture
+def machine():
+    return cydra5()
+
+
+def _ops(lowered, opcode):
+    return [
+        op for op in lowered.graph.real_operations() if op.opcode == opcode
+    ]
+
+
+class TestValueNumbering:
+    def test_duplicate_loads_merged(self, machine):
+        lowered = compile_loop_full(
+            "for i in n:\n    c[i] = a[i] * a[i] + a[i]\n", machine
+        )
+        assert len(_ops(lowered, "load")) == 1
+
+    def test_duplicate_arithmetic_merged(self, machine):
+        lowered = compile_loop_full(
+            "for i in n:\n    c[i] = (x + y) * (x + y)\n", machine
+        )
+        assert len(_ops(lowered, "fadd")) == 1
+
+    def test_commutative_operands_merged(self, machine):
+        lowered = compile_loop_full(
+            "for i in n:\n    c[i] = x * y + y * x\n", machine
+        )
+        assert len(_ops(lowered, "fmul")) == 1
+
+    def test_noncommutative_not_merged(self, machine):
+        lowered = compile_loop_full(
+            "for i in n:\n    c[i] = (x - y) + (y - x)\n", machine
+        )
+        assert len(_ops(lowered, "fsub")) == 2
+
+    def test_store_kills_load_cache(self, machine):
+        lowered = compile_loop_full(
+            "for i in n:\n"
+            "    t = a[i]\n"
+            "    a[i] = t + 1.0\n"
+            "    u = a[i]\n"
+            "    b[i] = u\n",
+            machine,
+        )
+        # The read after the store must be a second, distinct load.
+        assert len(_ops(lowered, "load")) == 2
+
+    def test_store_to_other_array_does_not_kill(self, machine):
+        lowered = compile_loop_full(
+            "for i in n:\n"
+            "    t = a[i]\n"
+            "    b[i] = t\n"
+            "    c[i] = a[i]\n",
+            machine,
+        )
+        assert len(_ops(lowered, "load")) == 1
+
+    def test_optimize_off_keeps_duplicates(self, machine):
+        lowered = compile_loop_full(
+            "for i in n:\n    c[i] = a[i] + a[i]\n",
+            machine,
+            optimize=False,
+        )
+        assert len(_ops(lowered, "load")) == 2
+
+    def test_different_offsets_not_merged(self, machine):
+        lowered = compile_loop_full(
+            "for i in n:\n    c[i] = a[i] + a[i+1]\n", machine
+        )
+        assert len(_ops(lowered, "load")) == 2
+
+    def test_cse_preserves_semantics(self, machine):
+        source = (
+            "for i in n:\n"
+            "    t = a[i] * q\n"
+            "    if a[i] * q > lim:\n"
+            "        b[i] = t\n"
+            "    s = s + a[i] * q\n"
+        )
+        for optimize in (True, False):
+            lowered = compile_loop_full(source, machine, optimize=optimize)
+            result = modulo_schedule(lowered.graph, machine, budget_ratio=6.0)
+            report = check_equivalence(lowered, result.schedule, n=23, seed=6)
+            assert report.ok, report.describe()
+
+    def test_cse_lowers_resmii(self, machine):
+        source = (
+            "for i in n:\n"
+            "    cr[i] = ar[i] * br[i] - ai[i] * bi[i]\n"
+            "    ci[i] = ar[i] * bi[i] + ai[i] * br[i]\n"
+        )
+        with_cse = compile_loop_full(source, machine)
+        without = compile_loop_full(source, machine, optimize=False)
+        on = modulo_schedule(with_cse.graph, machine).ii
+        off = modulo_schedule(without.graph, machine).ii
+        assert on < off
+
+
+class TestDeadCodeElimination:
+    def test_shadowed_definition_removed(self, machine):
+        optimized = compile_loop_full(
+            "for i in n:\n"
+            "    u = a[i] * 2.0\n"
+            "    u = b[i] + 1.0\n"
+            "    c[i] = u\n",
+            machine,
+        )
+        raw = compile_loop_full(
+            "for i in n:\n"
+            "    u = a[i] * 2.0\n"
+            "    u = b[i] + 1.0\n"
+            "    c[i] = u\n",
+            machine,
+            optimize=False,
+        )
+        assert optimized.graph.n_real_ops < raw.graph.n_real_ops
+        # The dead multiply and its load are both gone.
+        assert len(_ops(optimized, "fmul")) == 0
+
+    def test_idempotent_when_nothing_dead(self, machine):
+        lowered = compile_loop_full(
+            "for i in n:\n    c[i] = a[i]\n", machine
+        )
+        assert eliminate_dead_code(lowered) is lowered
+
+    def test_final_scalar_defs_are_roots(self, machine):
+        """A scalar assigned and never read is still observable after the
+        loop, so its computation survives."""
+        lowered = compile_loop_full(
+            "for i in n:\n    t = a[i] * q\n    b[i] = a[i]\n", machine
+        )
+        assert len(_ops(lowered, "fmul")) == 1
+        assert "t" in lowered.final_defs
+
+    def test_metadata_remapped(self, machine):
+        lowered = compile_loop_full(
+            "for i in n:\n"
+            "    u = a[i] * 2.0\n"
+            "    u = 1.0\n"
+            "    s = s + b[i]\n",
+            machine,
+        )
+        graph = lowered.graph
+        for name, op in {**lowered.final_defs, **lowered.carried_defs}.items():
+            assert 0 < op < graph.stop
+        for op in graph.real_operations():
+            for descriptor in op.attrs.get("operands", ()):
+                if descriptor[0] == "op":
+                    assert 0 < descriptor[1] < graph.stop
+
+    def test_dce_preserves_semantics(self, machine):
+        source = (
+            "for i in n:\n"
+            "    u = a[i] / (b[i] + 1.5)\n"
+            "    u = a[i] - b[i]\n"
+            "    if u > 0.0:\n"
+            "        c[i] = u\n"
+            "    s = s + u\n"
+        )
+        lowered = compile_loop_full(source, machine)
+        result = modulo_schedule(lowered.graph, machine, budget_ratio=6.0)
+        report = check_equivalence(lowered, result.schedule, n=19, seed=12)
+        assert report.ok, report.describe()
+
+    def test_works_on_single_alu(self):
+        machine = single_alu_machine()
+        lowered = compile_loop_full(
+            "for i in n:\n    u = x\n    u = y\n    a[i] = u\n", machine
+        )
+        result = modulo_schedule(lowered.graph, machine)
+        report = check_equivalence(lowered, result.schedule, n=9, seed=1)
+        assert report.ok

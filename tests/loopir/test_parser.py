@@ -1,0 +1,211 @@
+"""The DSL parser: grammar coverage and error reporting."""
+
+import pytest
+
+from repro.loopir import ParseError, parse_loop
+from repro.loopir.ast import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    BoolOp,
+    Call,
+    Compare,
+    If,
+    IVar,
+    NotOp,
+    Num,
+    Scalar,
+    Store,
+)
+
+
+class TestHeader:
+    def test_ivar_and_trip(self):
+        loop = parse_loop("for i in n:\n    x[i] = 1.0\n")
+        assert loop.ivar == "i"
+        assert loop.trip == "n"
+
+    def test_missing_colon_rejected(self):
+        with pytest.raises(ParseError):
+            parse_loop("for i in n\n    x[i] = 1.0\n")
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(ParseError):
+            parse_loop("for i in n:\n")
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ParseError):
+            parse_loop("")
+
+
+class TestStatements:
+    def test_scalar_assignment(self):
+        loop = parse_loop("for i in n:\n    t = 2.5\n")
+        assert loop.body == [Assign("t", Num(2.5))]
+
+    def test_store(self):
+        loop = parse_loop("for i in n:\n    a[i+1] = x\n")
+        assert loop.body == [Store("a", 1, Scalar("x"))]
+
+    def test_store_negative_offset(self):
+        loop = parse_loop("for i in n:\n    a[i-2] = x\n")
+        assert loop.body[0].offset == -2
+
+    def test_subscript_must_use_ivar(self):
+        with pytest.raises(ParseError):
+            parse_loop("for i in n:\n    a[j] = 1.0\n")
+
+    def test_subscript_offset_must_be_literal(self):
+        with pytest.raises(ParseError):
+            parse_loop("for i in n:\n    a[i+k] = 1.0\n")
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(ParseError):
+            parse_loop("for i in n:\n    t = 1.0 2.0\n")
+
+
+class TestExpressions:
+    def _expr(self, text):
+        return parse_loop(f"for i in n:\n    t = {text}\n").body[0].value
+
+    def test_precedence_mul_over_add(self):
+        expr = self._expr("a + b * c")
+        assert isinstance(expr, BinOp) and expr.op == "+"
+        assert isinstance(expr.right, BinOp) and expr.right.op == "*"
+
+    def test_parentheses_override(self):
+        expr = self._expr("(a + b) * c")
+        assert expr.op == "*"
+        assert isinstance(expr.left, BinOp) and expr.left.op == "+"
+
+    def test_left_associativity(self):
+        expr = self._expr("a - b - c")
+        assert expr.op == "-"
+        assert isinstance(expr.left, BinOp)
+        assert expr.right == Scalar("c")
+
+    def test_array_load(self):
+        assert self._expr("v[i+3]") == ArrayRef("v", 3)
+
+    def test_ivar_as_value(self):
+        assert self._expr("i") == IVar()
+
+    def test_unary_minus_literal_folds(self):
+        assert self._expr("-2.0") == Num(-2.0)
+
+    def test_unary_minus_expression_becomes_neg(self):
+        expr = self._expr("-a")
+        assert expr == Call("neg", (Scalar("a"),))
+
+    def test_intrinsics(self):
+        assert self._expr("sqrt(a)") == Call("sqrt", (Scalar("a"),))
+        assert self._expr("min(a, b)") == Call(
+            "min", (Scalar("a"), Scalar("b"))
+        )
+
+    def test_intrinsic_arity_checked(self):
+        with pytest.raises(ParseError):
+            parse_loop("for i in n:\n    t = min(a)\n")
+
+    def test_intrinsic_name_as_scalar_when_not_called(self):
+        assert self._expr("neg + 1.0") == BinOp("+", Scalar("neg"), Num(1.0))
+
+    def test_scientific_notation(self):
+        assert self._expr("1.5e-3") == Num(0.0015)
+
+    def test_keyword_in_expression_rejected(self):
+        with pytest.raises(ParseError):
+            parse_loop("for i in n:\n    t = for\n")
+
+
+class TestConditionals:
+    def test_if_else(self):
+        loop = parse_loop(
+            "for i in n:\n"
+            "    if a[i] > 0.0:\n"
+            "        s = s + 1.0\n"
+            "    else:\n"
+            "        s = s - 1.0\n"
+        )
+        statement = loop.body[0]
+        assert isinstance(statement, If)
+        assert isinstance(statement.cond, Compare)
+        assert len(statement.then_body) == 1
+        assert len(statement.else_body) == 1
+
+    def test_nested_if(self):
+        loop = parse_loop(
+            "for i in n:\n"
+            "    if a[i] > 0.0:\n"
+            "        if a[i] > 1.0:\n"
+            "            t = 2.0\n"
+        )
+        outer = loop.body[0]
+        assert isinstance(outer.then_body[0], If)
+
+    def test_and_or_not(self):
+        loop = parse_loop(
+            "for i in n:\n"
+            "    if a > 0.0 and not b < 1.0 or c == 2.0:\n"
+            "        t = 1.0\n"
+        )
+        cond = loop.body[0].cond
+        assert isinstance(cond, BoolOp) and cond.op == "or"
+        assert isinstance(cond.left, BoolOp) and cond.left.op == "and"
+        assert isinstance(cond.left.right, NotOp)
+
+    def test_parenthesized_condition(self):
+        loop = parse_loop(
+            "for i in n:\n"
+            "    if (a > 0.0 or b > 0.0) and c > 0.0:\n"
+            "        t = 1.0\n"
+        )
+        cond = loop.body[0].cond
+        assert cond.op == "and"
+        assert cond.left.op == "or"
+
+    def test_empty_if_body_rejected(self):
+        with pytest.raises(ParseError):
+            parse_loop("for i in n:\n    if a > 0.0:\n    t = 1.0\n")
+
+    def test_else_without_if_rejected(self):
+        with pytest.raises(ParseError):
+            parse_loop("for i in n:\n    else:\n        t = 1.0\n")
+
+    def test_assignment_with_comparison_rejected(self):
+        with pytest.raises(ParseError):
+            parse_loop("for i in n:\n    t = a > b\n")
+
+
+class TestLexical:
+    def test_comments_stripped(self):
+        loop = parse_loop("for i in n:  # loop\n    t = 1.0  # body\n")
+        assert len(loop.body) == 1
+
+    def test_blank_lines_ignored(self):
+        loop = parse_loop("for i in n:\n\n    t = 1.0\n\n")
+        assert len(loop.body) == 1
+
+    def test_tab_indentation_rejected(self):
+        with pytest.raises(ParseError):
+            parse_loop("for i in n:\n\tt = 1.0\n")
+
+    def test_unexpected_indent_rejected(self):
+        with pytest.raises(ParseError):
+            parse_loop("for i in n:\n    t = 1.0\n        u = 2.0\n")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_loop("for i in n:\n    t = $\n")
+        assert "line 2" in str(excinfo.value)
+
+    def test_arrays_helpers(self):
+        loop = parse_loop(
+            "for i in n:\n"
+            "    t = a[i] + b[i]\n"
+            "    if c[i] > 0.0:\n"
+            "        d[i] = t\n"
+        )
+        assert loop.arrays_read() == ["a", "b", "c"]
+        assert loop.arrays_written() == ["d"]
+        assert loop.arrays() == ["a", "b", "c", "d"]

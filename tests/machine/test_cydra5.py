@@ -1,0 +1,91 @@
+"""The reconstructed Cydra 5: Table 2's functional units and latencies."""
+
+import pytest
+
+from repro.machine import TableKind, cydra5
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return cydra5()
+
+
+class TestTable2Latencies:
+    """Latencies as published in Table 2 of the paper."""
+
+    @pytest.mark.parametrize(
+        "opcode, latency",
+        [
+            ("load", 20),
+            ("aadd", 3),
+            ("asub", 3),
+            ("fadd", 4),
+            ("fsub", 4),
+            ("fmul", 5),
+            ("mul", 5),
+            ("fdiv", 22),
+            ("fsqrt", 26),
+            ("brtop", 3),
+        ],
+    )
+    def test_latency(self, machine, opcode, latency):
+        assert machine.latency(opcode) == latency
+
+
+class TestUnitCounts:
+    def test_two_memory_ports(self, machine):
+        assert machine.opcode("load").n_alternatives == 2
+        assert machine.opcode("store").n_alternatives == 2
+
+    def test_two_address_alus(self, machine):
+        assert machine.opcode("aadd").n_alternatives == 2
+
+    def test_single_adder_and_multiplier(self, machine):
+        assert machine.opcode("fadd").n_alternatives == 1
+        assert machine.opcode("fmul").n_alternatives == 1
+
+    def test_predicate_ops_run_on_memory_ports(self, machine):
+        alt_names = {a.name for a in machine.opcode("cmp_lt").alternatives}
+        assert alt_names == {"mem_port0", "mem_port1"}
+
+
+class TestReservationTableShapes:
+    def test_load_table_is_complex(self, machine):
+        for alt in machine.opcode("load").alternatives:
+            assert alt.kind is TableKind.COMPLEX
+
+    def test_load_reoccupies_port_at_return(self, machine):
+        alt = machine.opcode("load").alternatives[0]
+        offsets = sorted(t for _, t in alt.uses)
+        assert offsets == [0, 19]
+
+    def test_adder_and_multiplier_share_result_bus(self, machine):
+        add_resources = set(machine.opcode("fadd").alternatives[0].resources)
+        mul_resources = set(machine.opcode("fmul").alternatives[0].resources)
+        assert "fp_result_bus" in add_resources & mul_resources
+
+    def test_figure1_style_result_bus_collision(self, machine):
+        """An add issued one cycle after a multiply collides on the bus."""
+        add = machine.opcode("fadd").alternatives[0]
+        mul = machine.opcode("fmul").alternatives[0]
+        add_bus = dict((r, t) for r, t in add.uses)["fp_result_bus"]
+        mul_bus = dict((r, t) for r, t in mul.uses)["fp_result_bus"]
+        assert mul_bus - add_bus == 1
+
+    def test_divide_blocks_the_multiplier(self, machine):
+        table = machine.opcode("fdiv").alternatives[0]
+        stage_uses = [t for r, t in table.uses if r == "mul_stage0"]
+        assert len(stage_uses) >= 8  # many consecutive cycles
+        assert stage_uses == list(range(len(stage_uses)))
+
+    def test_store_table_is_simple(self, machine):
+        for alt in machine.opcode("store").alternatives:
+            assert alt.kind is TableKind.SIMPLE
+
+    def test_census_contains_all_three_kinds(self, machine):
+        census = machine.table_kind_census()
+        assert census[TableKind.SIMPLE] > 0
+        assert census[TableKind.COMPLEX] > 0
+
+    def test_cached_singleton(self):
+        assert cydra5() is cydra5()

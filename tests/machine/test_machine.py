@@ -1,0 +1,79 @@
+"""Machine descriptions and opcodes: validation and lookups."""
+
+import pytest
+
+from repro.machine import MachineDescription, MachineError, Opcode, ReservationTable
+
+
+def _alu_table():
+    return ReservationTable("alu", [("alu", 0)])
+
+
+class TestOpcode:
+    def test_requires_alternatives(self):
+        with pytest.raises(ValueError):
+            Opcode("fadd", 1, [])
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError):
+            Opcode("fadd", -1, [_alu_table()])
+
+    def test_rejects_duplicate_alternative_names(self):
+        with pytest.raises(ValueError):
+            Opcode("fadd", 1, [_alu_table(), _alu_table()])
+
+    def test_n_alternatives(self):
+        table2 = ReservationTable("alu2", [("alu2", 0)])
+        assert Opcode("fadd", 1, [_alu_table(), table2]).n_alternatives == 2
+
+
+class TestMachineDescription:
+    def test_unknown_resource_in_table_rejected(self):
+        opcode = Opcode("fadd", 1, [_alu_table()])
+        with pytest.raises(MachineError):
+            MachineDescription("m", ["other"], [opcode])
+
+    def test_duplicate_resources_rejected(self):
+        with pytest.raises(MachineError):
+            MachineDescription("m", ["alu", "alu"], [])
+
+    def test_duplicate_opcodes_rejected(self):
+        opcode = Opcode("fadd", 1, [_alu_table()])
+        with pytest.raises(MachineError):
+            MachineDescription("m", ["alu"], [opcode, opcode])
+
+    def test_lookup_and_latency(self):
+        machine = MachineDescription(
+            "m", ["alu"], [Opcode("fadd", 4, [_alu_table()])]
+        )
+        assert machine.latency("fadd") == 4
+        assert machine.opcode("fadd").name == "fadd"
+        assert machine.has_opcode("fadd")
+        assert not machine.has_opcode("fmul")
+
+    def test_unknown_opcode_raises_machine_error(self):
+        machine = MachineDescription("m", ["alu"], [])
+        with pytest.raises(MachineError):
+            machine.latency("fadd")
+
+    def test_describe_lists_opcodes(self):
+        machine = MachineDescription(
+            "m", ["alu"], [Opcode("fadd", 4, [_alu_table()])]
+        )
+        assert "fadd" in machine.describe()
+
+    def test_table_kind_census(self):
+        from repro.machine import TableKind
+
+        complex_table = ReservationTable("c", [("alu", 0), ("bus", 2)])
+        machine = MachineDescription(
+            "m",
+            ["alu", "bus"],
+            [
+                Opcode("fadd", 1, [_alu_table()]),
+                Opcode("fmul", 2, [complex_table]),
+            ],
+        )
+        census = machine.table_kind_census()
+        assert census[TableKind.SIMPLE] == 1
+        assert census[TableKind.COMPLEX] == 1

@@ -1,0 +1,77 @@
+"""Reservation tables: kinds, validation, Figure-1 rendering."""
+
+import pytest
+
+from repro.machine import ReservationTable, TableKind, render_reservation_tables
+
+
+class TestKinds:
+    def test_simple_table(self):
+        table = ReservationTable("alu", [("alu", 0)])
+        assert table.kind is TableKind.SIMPLE
+
+    def test_block_table(self):
+        table = ReservationTable("div", [("div", 0), ("div", 1), ("div", 2)])
+        assert table.kind is TableKind.BLOCK
+
+    def test_multi_resource_is_complex(self):
+        table = ReservationTable("alu", [("stage0", 0), ("stage1", 1)])
+        assert table.kind is TableKind.COMPLEX
+
+    def test_non_contiguous_single_resource_is_complex(self):
+        table = ReservationTable("mem", [("port", 0), ("port", 19)])
+        assert table.kind is TableKind.COMPLEX
+
+    def test_single_resource_not_starting_at_issue_is_complex(self):
+        table = ReservationTable("bus", [("bus", 3)])
+        assert table.kind is TableKind.COMPLEX
+
+
+class TestValidation:
+    def test_empty_table_rejected(self):
+        with pytest.raises(ValueError):
+            ReservationTable("x", [])
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError):
+            ReservationTable("x", [("r", -1)])
+
+    def test_duplicate_cell_rejected(self):
+        with pytest.raises(ValueError):
+            ReservationTable("x", [("r", 0), ("r", 0)])
+
+    def test_uses_are_normalized_sorted(self):
+        table = ReservationTable("x", [("b", 1), ("a", 0)])
+        assert table.uses == (("a", 0), ("b", 1))
+
+
+class TestProperties:
+    def test_span(self):
+        table = ReservationTable("x", [("r", 0), ("s", 4)])
+        assert table.span == 5
+
+    def test_resources_sorted_unique(self):
+        table = ReservationTable("x", [("b", 0), ("a", 1), ("b", 2)])
+        assert table.resources == ("a", "b")
+
+    def test_usage_count(self):
+        table = ReservationTable("x", [("r", 0), ("r", 2), ("s", 1)])
+        assert table.usage_count() == {"r": 2, "s": 1}
+
+
+class TestRender:
+    def test_render_marks_cells(self):
+        add = ReservationTable(
+            "alu", [("src", 0), ("stage", 1), ("result", 3)]
+        )
+        text = add.render()
+        assert "src" in text and "result" in text
+        assert "X" in text
+
+    def test_side_by_side_render_aligns_shared_resources(self):
+        add = ReservationTable("alu", [("src", 0), ("result", 3)])
+        mul = ReservationTable("mul", [("src", 0), ("result", 4)])
+        text = render_reservation_tables([add, mul])
+        # Five time rows (0..4) plus header lines.
+        assert text.count("\n") >= 6
+        assert "result" in text

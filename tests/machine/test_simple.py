@@ -1,0 +1,77 @@
+"""The small machines: coverage of the table-kind spectrum."""
+
+import pytest
+
+from repro.machine import (
+    TableKind,
+    bus_conflict_machine,
+    single_alu_machine,
+    superscalar_machine,
+    two_alu_machine,
+)
+
+
+class TestUniformMachines:
+    def test_single_alu_has_one_alternative_everywhere(self):
+        machine = single_alu_machine()
+        for name in machine.opcode_names:
+            assert machine.opcode(name).n_alternatives == 1
+
+    def test_two_alu_has_two_alternatives_everywhere(self):
+        machine = two_alu_machine()
+        for name in machine.opcode_names:
+            assert machine.opcode(name).n_alternatives == 2
+
+    def test_superscalar_has_four_units(self):
+        machine = superscalar_machine()
+        assert machine.opcode("fadd").n_alternatives == 4
+
+    def test_all_tables_simple(self):
+        for machine in (single_alu_machine(), two_alu_machine()):
+            census = machine.table_kind_census()
+            assert census[TableKind.BLOCK] == 0
+            assert census[TableKind.COMPLEX] == 0
+
+    def test_front_end_opcode_coverage(self):
+        """Every opcode the lowering pass can emit exists on all machines."""
+        needed = {
+            "load", "store", "fadd", "fsub", "fmul", "fdiv", "fsqrt",
+            "fabs", "fneg", "fmin", "fmax", "select", "copy", "limm",
+            "aadd", "cmp_lt", "cmp_le", "cmp_eq", "cmp_ne", "cmp_gt",
+            "cmp_ge", "pand", "por", "pnot", "brtop",
+        }
+        for machine in (
+            single_alu_machine(),
+            two_alu_machine(),
+            superscalar_machine(),
+        ):
+            missing = needed - set(machine.opcode_names)
+            assert not missing, (machine.name, missing)
+
+
+class TestFigure1Machine:
+    def test_source_buses_shared_on_issue(self):
+        machine = bus_conflict_machine()
+        add = machine.opcode("fadd").alternatives[0]
+        mul = machine.opcode("fmul").alternatives[0]
+        add_issue = {r for r, t in add.uses if t == 0}
+        mul_issue = {r for r, t in mul.uses if t == 0}
+        assert add_issue & mul_issue  # same-cycle issue collides
+
+    def test_result_bus_offsets_match_figure1(self):
+        machine = bus_conflict_machine()
+        add = dict(machine.opcode("fadd").alternatives[0].uses)
+        mul = dict(machine.opcode("fmul").alternatives[0].uses)
+        assert add["result_bus"] == 3
+        assert mul["result_bus"] == 4
+
+    def test_latencies_match_figure1(self):
+        machine = bus_conflict_machine()
+        assert machine.latency("fadd") == 4
+        assert machine.latency("fmul") == 5
+
+    def test_tables_are_complex(self):
+        machine = bus_conflict_machine()
+        assert (
+            machine.opcode("fadd").alternatives[0].kind is TableKind.COMPLEX
+        )

@@ -1,0 +1,111 @@
+"""The command-line interface."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def dot_file(tmp_path):
+    path = tmp_path / "dot.dsl"
+    path.write_text("for i in n:\n    s = s + x[i] * y[i]\n")
+    return str(path)
+
+
+def _run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestMachines:
+    def test_lists_all_machines(self):
+        code, text = _run(["machines"])
+        assert code == 0
+        for name in ("cydra5", "single_alu", "two_alu", "superscalar"):
+            assert name in text
+
+
+class TestMII:
+    def test_reports_all_three_bounds(self, dot_file):
+        code, text = _run(["mii", dot_file])
+        assert code == 0
+        assert "ResMII" in text and "RecMII" in text and "MII" in text
+
+    def test_machine_selection_changes_bounds(self, dot_file):
+        _, cydra_text = _run(["mii", dot_file, "--machine", "cydra5"])
+        _, alu_text = _run(["mii", dot_file, "--machine", "single_alu"])
+        assert cydra_text != alu_text
+
+    def test_unroll_recommendation_flag(self, dot_file):
+        code, text = _run(["mii", dot_file, "--recommend-unroll", "3"])
+        assert code == 0
+        assert "recommend" in text
+
+
+class TestSchedule:
+    def test_reports_ii_and_sl(self, dot_file):
+        code, text = _run(["schedule", dot_file])
+        assert code == 0
+        assert "II=" in text and "SL=" in text
+
+    def test_kernel_flag_prints_layout(self, dot_file):
+        _, text = _run(["schedule", dot_file, "--kernel"])
+        assert "kernel" in text
+
+    def test_verify_flag_simulates(self, dot_file):
+        code, text = _run(["schedule", dot_file, "--verify", "25"])
+        assert code == 0
+        assert "OK" in text
+
+    def test_json_output_parses(self, dot_file):
+        code, text = _run(["schedule", dot_file, "--json"])
+        assert code == 0
+        data = json.loads(text)
+        assert data["format"] == "repro.schedule.v1"
+
+    def test_budget_ratio_accepted(self, dot_file):
+        code, _ = _run(["schedule", dot_file, "--budget-ratio", "2"])
+        assert code == 0
+
+    def test_conservative_delays_flag(self, dot_file):
+        code, _ = _run(["schedule", dot_file, "--conservative-delays"])
+        assert code == 0
+
+
+class TestCorpus:
+    def test_small_corpus_report(self):
+        code, text = _run(["corpus", "--loops", "50"])
+        assert code == 0
+        assert "II = MII" in text
+        assert "loops on" in text
+
+
+class TestErrors:
+    def test_unknown_machine_rejected(self, dot_file):
+        with pytest.raises(SystemExit):
+            _run(["schedule", dot_file, "--machine", "pdp11"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            _run([])
+
+
+class TestVisualizationFlags:
+    def test_gantt_flag(self, dot_file):
+        code, text = _run(["schedule", dot_file, "--gantt"])
+        assert code == 0
+        assert "slot" in text
+
+    def test_diagram_flag(self, dot_file):
+        code, text = _run(["schedule", dot_file, "--diagram"])
+        assert code == 0
+        assert "iter" in text
+
+    def test_trace_flag(self, dot_file):
+        code, text = _run(["schedule", dot_file, "--trace"])
+        assert code == 0
+        assert "place" in text

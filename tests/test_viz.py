@@ -1,0 +1,85 @@
+"""ASCII visualizations."""
+
+import pytest
+
+from repro import cydra5, modulo_schedule, single_alu_machine
+from repro.loopir import compile_loop_full
+from repro.viz import lifetime_chart, pipeline_diagram, resource_gantt
+
+
+@pytest.fixture(scope="module")
+def scheduled():
+    machine = cydra5()
+    lowered = compile_loop_full(
+        "for i in n:\n    s = s + x[i] * y[i]\n", machine, name="sdot"
+    )
+    result = modulo_schedule(lowered.graph, machine, budget_ratio=6.0)
+    return lowered.graph, machine, result
+
+
+class TestResourceGantt:
+    def test_grid_has_ii_rows(self, scheduled):
+        graph, machine, result = scheduled
+        text = resource_gantt(graph, machine, result.schedule)
+        data_rows = text.splitlines()[2:]
+        assert len(data_rows) == result.ii
+
+    def test_used_resources_appear(self, scheduled):
+        graph, machine, result = scheduled
+        text = resource_gantt(graph, machine, result.schedule)
+        assert "mem_port0" in text
+        assert "op" in text
+
+    def test_empty_graph(self):
+        from repro.ir import DependenceGraph
+
+        machine = single_alu_machine()
+        graph = DependenceGraph(machine).seal()
+        result = modulo_schedule(graph, machine)
+        assert "no resources" in resource_gantt(graph, machine, result.schedule)
+
+
+class TestPipelineDiagram:
+    def test_one_row_per_iteration(self, scheduled):
+        graph, machine, result = scheduled
+        text = pipeline_diagram(graph, result.schedule, iterations=5)
+        rows = [l for l in text.splitlines() if l.startswith("iter")]
+        assert len(rows) == 5
+
+    def test_staircase_offset_is_ii(self, scheduled):
+        graph, machine, result = scheduled
+        text = pipeline_diagram(graph, result.schedule, iterations=3)
+        rows = [l for l in text.splitlines() if l.startswith("iter")]
+        # The first non-space cell of row k starts II columns after row
+        # k-1's.
+        starts = []
+        for row in rows:
+            body = row.split("|", 1)[1]
+            starts.append(len(body) - len(body.lstrip(" ")))
+        assert starts[1] - starts[0] == result.ii
+        assert starts[2] - starts[1] == result.ii
+
+    def test_mentions_ii_and_sl(self, scheduled):
+        graph, machine, result = scheduled
+        text = pipeline_diagram(graph, result.schedule)
+        assert f"II={result.ii}" in text
+        assert f"SL={result.schedule_length}" in text
+
+
+class TestLifetimeChart:
+    def test_one_row_per_value(self, scheduled):
+        graph, machine, result = scheduled
+        text = lifetime_chart(graph, result.schedule)
+        rows = [l for l in text.splitlines()[2:]]
+        values = sum(
+            1
+            for op in graph.real_operations()
+            if op.dest is not None
+        )
+        assert len(rows) == values
+
+    def test_definition_and_last_use_marks(self, scheduled):
+        graph, machine, result = scheduled
+        text = lifetime_chart(graph, result.schedule)
+        assert "D" in text
+        assert ">" in text

@@ -1,0 +1,65 @@
+"""Corpus assembly and the synthetic profile."""
+
+import pytest
+
+from repro.machine import cydra5
+from repro.workloads import build_corpus
+from repro.workloads.corpus import PAPER_CORPUS_SIZE, paper_sized_corpus
+from repro.workloads.kernels import KERNELS
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return cydra5()
+
+
+@pytest.fixture(scope="module")
+def corpus(machine):
+    return build_corpus(machine, n_synthetic=60, seed=3)
+
+
+class TestAssembly:
+    def test_contains_all_kernels_plus_synthetic(self, corpus):
+        assert len(corpus) == len(KERNELS) + 60
+
+    def test_kernels_carry_lowered_metadata(self, corpus):
+        for loop in corpus:
+            if loop.category != "synthetic":
+                assert loop.lowered is not None
+            else:
+                assert loop.lowered is None
+
+    def test_kernels_marked_executed(self, corpus):
+        assert all(
+            loop.executed for loop in corpus if loop.category != "synthetic"
+        )
+
+    def test_graphs_are_sealed(self, corpus):
+        assert all(loop.graph.sealed for loop in corpus)
+
+    def test_deterministic(self, machine):
+        first = build_corpus(machine, n_synthetic=10, seed=5)
+        second = build_corpus(machine, n_synthetic=10, seed=5)
+        assert [l.name for l in first] == [l.name for l in second]
+        assert [l.loop_freq for l in first] == [l.loop_freq for l in second]
+
+    def test_synthetic_only_corpus(self, machine):
+        corpus = build_corpus(machine, n_synthetic=5, include_kernels=False)
+        assert len(corpus) == 5
+
+
+class TestProfile:
+    def test_frequencies_positive_and_consistent(self, corpus):
+        for loop in corpus:
+            assert loop.entry_freq >= 1
+            assert loop.loop_freq >= loop.entry_freq
+            assert loop.trip_count >= 1
+
+    def test_some_loops_not_executed(self, machine):
+        corpus = build_corpus(machine, n_synthetic=200, seed=0)
+        executed = sum(1 for l in corpus if l.executed)
+        assert 0 < executed < len(corpus)
+
+    def test_paper_sized_corpus_matches_paper(self, machine):
+        corpus = paper_sized_corpus(machine)
+        assert len(corpus) == PAPER_CORPUS_SIZE
