@@ -2,8 +2,18 @@
 
 Every benchmark regenerates one of the paper's tables or figures over the
 paper-sized corpus (1327 loops) on the reconstructed Cydra 5, prints it,
-and writes it to ``benchmarks/results/`` for EXPERIMENTS.md.  Set
-``REPRO_BENCH_LOOPS`` to shrink the corpus for quick runs.
+and writes it to ``benchmarks/results/`` for EXPERIMENTS.md.
+
+The shared ``evaluations`` fixture runs through the corpus-evaluation
+engine, so all ``bench_*`` scripts share one warm content-addressed cache
+(``benchmarks/.cache``) and only the first run after a change to the
+loops, the machine, or the scheduler actually re-schedules anything.
+Knobs (environment variables):
+
+* ``REPRO_BENCH_LOOPS``  — shrink the corpus for quick runs;
+* ``REPRO_BENCH_JOBS``   — engine worker processes (default: one per CPU);
+* ``REPRO_BENCH_CACHE``  — cache directory (default ``benchmarks/.cache``);
+* ``REPRO_BENCH_NO_CACHE`` — set to disable caching entirely.
 """
 
 from __future__ import annotations
@@ -13,13 +23,16 @@ from pathlib import Path
 
 import pytest
 
-from repro.analysis import evaluate_corpus
+from repro.analysis.engine import EvaluationEngine
 from repro.machine import cydra5
 from repro.workloads import build_corpus
 from repro.workloads.corpus import PAPER_CORPUS_SIZE
 from repro.workloads.kernels import KERNELS
 
 RESULTS_DIR = Path(__file__).parent / "results"
+CACHE_DIR = Path(
+    os.environ.get("REPRO_BENCH_CACHE", str(Path(__file__).parent / ".cache"))
+)
 
 #: BudgetRatio used for the quality experiments (the paper's Table 3 used
 #: 6, "well above the largest value actually needed by any loop").
@@ -31,6 +44,13 @@ def _corpus_size() -> int:
     if value:
         return max(len(KERNELS) + 1, int(value))
     return PAPER_CORPUS_SIZE
+
+
+def _engine_jobs() -> int:
+    value = os.environ.get("REPRO_BENCH_JOBS", "")
+    if value:
+        return max(1, int(value))
+    return os.cpu_count() or 1
 
 
 @pytest.fixture(scope="session")
@@ -45,11 +65,37 @@ def corpus(machine):
 
 
 @pytest.fixture(scope="session")
-def evaluations(machine, corpus):
-    """Full-corpus evaluation at the quality BudgetRatio, exact MII."""
-    return evaluate_corpus(
-        corpus, machine, budget_ratio=QUALITY_BUDGET_RATIO, exact_mii=True
+def engine(machine):
+    """The shared corpus-evaluation engine (parallel, cached)."""
+    return EvaluationEngine(
+        machine,
+        budget_ratio=QUALITY_BUDGET_RATIO,
+        exact_mii=True,
+        jobs=_engine_jobs(),
+        cache_dir=CACHE_DIR,
+        use_cache="REPRO_BENCH_NO_CACHE" not in os.environ,
     )
+
+
+@pytest.fixture(scope="session")
+def evaluations(engine, corpus):
+    """Full-corpus evaluation at the quality BudgetRatio, exact MII.
+
+    The engine's structured timing report (per-loop phase times, cache
+    hit/miss counters) lands in ``benchmarks/results/engine_timing.json``
+    for the regression harness.
+    """
+    result = engine.evaluate(corpus)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    result.write_timing_json(RESULTS_DIR / "engine_timing.json")
+    print(f"\n[engine] {result.describe()}")
+    if result.failures:
+        details = "\n  ".join(f.describe() for f in result.failures)
+        raise RuntimeError(
+            f"{len(result.failures)} corpus loops failed to evaluate:\n"
+            f"  {details}"
+        )
+    return result.evaluations
 
 
 @pytest.fixture(scope="session")

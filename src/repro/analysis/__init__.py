@@ -8,27 +8,59 @@
   data against N for the Table-4 complexity study;
 * :mod:`repro.analysis.runner` — one-stop evaluation of a corpus loop
   (MII, modulo schedule, list-schedule and MinDist lower bounds, counters);
+* :mod:`repro.analysis.engine` — the parallel, content-addressed
+  corpus-evaluation engine (process-pool fan-out, on-disk result cache,
+  structured failure and timing records);
 * :mod:`repro.analysis.report` — plain-text table/series rendering.
 """
 
 from repro.analysis.distribution import DistributionRow, distribution_row
+from repro.analysis.engine import (
+    CorpusEvaluation,
+    EvaluationEngine,
+    LoopFailure,
+    LoopTiming,
+    cache_key,
+    evaluation_from_dict,
+    evaluation_to_dict,
+)
 from repro.analysis.model import execution_time, execution_time_bound
-from repro.analysis.regression import fit_linear, fit_quadratic, fit_power
+from repro.analysis.regression import (
+    fit_linear,
+    fit_quadratic,
+    fit_power,
+    load_timing_report,
+    timing_speedup,
+)
 from repro.analysis.runner import LoopEvaluation, evaluate_loop, evaluate_corpus
-from repro.analysis.report import render_table, render_series
+from repro.analysis.report import (
+    render_phase_summary,
+    render_series,
+    render_table,
+)
 from repro.analysis.tables import table3_rows
 
 __all__ = [
+    "CorpusEvaluation",
     "DistributionRow",
+    "EvaluationEngine",
+    "LoopFailure",
+    "LoopTiming",
+    "cache_key",
     "distribution_row",
+    "evaluation_from_dict",
+    "evaluation_to_dict",
     "execution_time",
     "execution_time_bound",
     "fit_linear",
     "fit_quadratic",
     "fit_power",
+    "load_timing_report",
+    "timing_speedup",
     "LoopEvaluation",
     "evaluate_loop",
     "evaluate_corpus",
+    "render_phase_summary",
     "render_table",
     "render_series",
     "table3_rows",

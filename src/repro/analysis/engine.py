@@ -1,0 +1,595 @@
+"""Parallel, content-addressed corpus evaluation.
+
+The paper's evaluation (Section 4) modulo-schedules 1327 loops to build
+every table and figure; re-running that serially and from scratch for
+each benchmark is the single biggest cost in the harness.  This module is
+the substrate that makes corpus-scale evaluation cheap and repeatable:
+
+* a **content-addressed result cache**: every per-loop evaluation is
+  stored on disk under a stable hash of (loop IR, machine description,
+  scheduler configuration, code-format version), so unchanged loops are
+  never re-scheduled or re-simulated across runs — and any change to the
+  loop's graph, the machine's latencies or reservation tables, or the
+  scheduler's budget automatically invalidates only the affected entries;
+* a **process-pool fan-out** over :func:`evaluate_loop`'s work with
+  deterministic, corpus-order results regardless of completion order;
+* **structured failure records**: a loop that cannot be scheduled (or
+  fails verification) no longer aborts the corpus run — it is reported as
+  a :class:`LoopFailure` alongside the successful evaluations;
+* **per-loop phase timings** (mindist / scheduling / codegen /
+  simulation) and cache hit/miss counters, emitted as JSON for the
+  regression harness (see :func:`repro.analysis.regression.timing_speedup`).
+
+Both the serial and the parallel path round-trip each evaluation through
+the same JSON payload that the cache stores, so results are bit-identical
+whether they were computed in-process, in a worker, or loaded from disk.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.analysis.runner import LoopEvaluation
+from repro.baselines.list_scheduler import list_schedule_length
+from repro.core.mii import MIIResult, compute_mii
+from repro.core.mindist import schedule_length_lower_bound
+from repro.core.scheduler import ModuloScheduleResult, modulo_schedule
+from repro.core.stats import Counters
+from repro.core.trace import PhaseTimer
+from repro.ir.serialize import graph_to_dict, schedule_from_dict, schedule_to_dict
+from repro.machine.serialize import machine_to_dict
+from repro.workloads.corpus import CorpusLoop
+
+#: Version of the evaluation semantics baked into every cache key.  Bump
+#: whenever the meaning of a cached payload changes (new measurements, a
+#: scheduler fix that alters results, a payload schema change) so stale
+#: entries are never resurrected.
+CODE_FORMAT_VERSION = 1
+
+_PAYLOAD_FORMAT = "repro.loop-evaluation.v1"
+TIMING_FORMAT = "repro.engine-timing.v1"
+
+#: The per-loop phases the engine accounts for.
+PHASES = ("mindist", "scheduling", "codegen", "simulation")
+
+
+class VerificationError(RuntimeError):
+    """The pipelined schedule disagreed with the sequential oracle."""
+
+
+# ----------------------------------------------------------------------
+# Cache keys
+
+
+def cache_key(
+    loop: Union[CorpusLoop, Any],
+    machine,
+    budget_ratio: float = 6.0,
+    exact_mii: bool = True,
+    verify_iterations: int = 0,
+) -> str:
+    """Stable, content-addressed key for one loop evaluation.
+
+    The key is the SHA-256 of a canonical JSON document covering
+    everything the evaluation's outcome depends on: the loop's dependence
+    graph, the full machine description (latencies, reservation tables),
+    the scheduler configuration, and :data:`CODE_FORMAT_VERSION`.  It is
+    stable across processes and interpreter restarts (no reliance on
+    ``hash()``), and any semantic mutation of an input changes it.
+
+    ``loop`` may be a :class:`CorpusLoop` or a bare dependence graph; the
+    execution profile (``entry_freq``/``loop_freq``) is deliberately *not*
+    part of the key — it scales the execution-time model but never the
+    schedule, and is re-attached from the live loop on every load.
+    """
+    graph = loop.graph if isinstance(loop, CorpusLoop) else loop
+    document = {
+        "version": CODE_FORMAT_VERSION,
+        "graph": graph_to_dict(graph),
+        "machine": machine_to_dict(machine),
+        "config": {
+            "budget_ratio": budget_ratio,
+            "exact_mii": exact_mii,
+            "verify_iterations": verify_iterations,
+        },
+    }
+    text = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Evaluation payloads (the cached, process-portable form)
+
+
+def evaluation_to_dict(evaluation: LoopEvaluation, machine) -> Dict[str, Any]:
+    """Serialize a :class:`LoopEvaluation` to a JSON-compatible payload.
+
+    Only the measurements are stored; the :class:`CorpusLoop` (with its
+    execution profile) is re-attached by :func:`evaluation_from_dict`.
+    """
+    mii = evaluation.mii_result
+    result = evaluation.result
+    return {
+        "format": _PAYLOAD_FORMAT,
+        "n_ops": evaluation.n_ops,
+        "n_real_ops": evaluation.n_real_ops,
+        "n_edges": evaluation.n_edges,
+        "mii": {
+            "res_mii": mii.res_mii,
+            "rec_mii": mii.rec_mii,
+            "mii": mii.mii,
+            "components": [list(c) for c in mii.components],
+            "rec_mii_exact": mii.rec_mii_exact,
+        },
+        "schedule": schedule_to_dict(result.schedule, machine),
+        "search": {
+            "budget_ratio": result.budget_ratio,
+            "attempts": result.attempts,
+            "steps_total": result.steps_total,
+            "steps_last": result.steps_last,
+        },
+        "list_sl": evaluation.list_sl,
+        "mindist_sl_at_mii": evaluation.mindist_sl_at_mii,
+        "mindist_sl_at_ii": evaluation.mindist_sl_at_ii,
+        "counters": evaluation.counters.snapshot(),
+    }
+
+
+def evaluation_from_dict(
+    data: Dict[str, Any], loop: CorpusLoop, machine
+) -> LoopEvaluation:
+    """Rebuild a :class:`LoopEvaluation` from :func:`evaluation_to_dict`."""
+    if data.get("format") != _PAYLOAD_FORMAT:
+        raise ValueError(
+            f"not a serialized loop evaluation: format {data.get('format')!r}"
+        )
+    counters = Counters(**data["counters"])
+    mii_data = data["mii"]
+    mii_result = MIIResult(
+        res_mii=mii_data["res_mii"],
+        rec_mii=mii_data["rec_mii"],
+        mii=mii_data["mii"],
+        components=[list(c) for c in mii_data["components"]],
+        rec_mii_exact=mii_data["rec_mii_exact"],
+    )
+    search = data["search"]
+    result = ModuloScheduleResult(
+        schedule=schedule_from_dict(data["schedule"], machine),
+        mii_result=mii_result,
+        budget_ratio=search["budget_ratio"],
+        attempts=search["attempts"],
+        steps_total=search["steps_total"],
+        steps_last=search["steps_last"],
+        counters=counters,
+    )
+    return LoopEvaluation(
+        loop=loop,
+        n_ops=data["n_ops"],
+        n_real_ops=data["n_real_ops"],
+        n_edges=data["n_edges"],
+        mii_result=mii_result,
+        result=result,
+        list_sl=data["list_sl"],
+        mindist_sl_at_mii=data["mindist_sl_at_mii"],
+        mindist_sl_at_ii=data["mindist_sl_at_ii"],
+        counters=counters,
+    )
+
+
+# ----------------------------------------------------------------------
+# Structured records
+
+
+@dataclass(frozen=True)
+class LoopFailure:
+    """One loop that could not be evaluated (the run continues without it)."""
+
+    index: int
+    loop_name: str
+    phase: str
+    error_type: str
+    message: str
+    traceback: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible form (traceback included for the report)."""
+        return {
+            "index": self.index,
+            "loop": self.loop_name,
+            "phase": self.phase,
+            "error_type": self.error_type,
+            "message": self.message,
+            "traceback": self.traceback,
+        }
+
+    def describe(self) -> str:
+        """One-line rendering for logs and CLI output."""
+        return (
+            f"{self.loop_name}: {self.error_type} during {self.phase}: "
+            f"{self.message}"
+        )
+
+
+@dataclass(frozen=True)
+class LoopTiming:
+    """Structured per-loop timing record (one per corpus loop, in order)."""
+
+    index: int
+    loop_name: str
+    key: str
+    cache_hit: bool
+    seconds: Dict[str, float]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible form for the timing report."""
+        return {
+            "index": self.index,
+            "loop": self.loop_name,
+            "key": self.key,
+            "cache_hit": self.cache_hit,
+            "seconds": dict(self.seconds),
+        }
+
+
+@dataclass
+class CorpusEvaluation:
+    """Everything one engine run over a corpus produced.
+
+    ``evaluations`` holds the successful records in corpus order;
+    ``failures`` the loops that raised (also in corpus order); ``timings``
+    one record per corpus loop regardless of outcome.
+    """
+
+    evaluations: List[LoopEvaluation]
+    failures: List[LoopFailure]
+    timings: List[LoopTiming]
+    machine_name: str
+    jobs: int
+    cache_dir: Optional[str]
+    cache_enabled: bool
+    hits: int
+    misses: int
+    wall_seconds: float
+
+    @property
+    def ok(self) -> bool:
+        """True when every loop evaluated successfully."""
+        return not self.failures
+
+    def phase_seconds(self) -> Dict[str, float]:
+        """Total seconds per phase, aggregated over all loops."""
+        totals: Dict[str, float] = {}
+        for timing in self.timings:
+            for name, value in timing.seconds.items():
+                totals[name] = totals.get(name, 0.0) + value
+        return totals
+
+    def timing_report(self) -> Dict[str, Any]:
+        """The structured timing document the regression harness consumes."""
+        return {
+            "format": TIMING_FORMAT,
+            "machine": self.machine_name,
+            "jobs": self.jobs,
+            "cache": {
+                "enabled": self.cache_enabled,
+                "dir": self.cache_dir,
+                "hits": self.hits,
+                "misses": self.misses,
+            },
+            "n_loops": len(self.timings),
+            "n_failures": len(self.failures),
+            "wall_seconds": self.wall_seconds,
+            "phase_seconds": self.phase_seconds(),
+            "loops": [t.to_dict() for t in self.timings],
+            "failures": [f.to_dict() for f in self.failures],
+        }
+
+    def write_timing_json(self, path) -> Path:
+        """Write :meth:`timing_report` to ``path`` (created/overwritten)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.timing_report(), indent=2) + "\n")
+        return path
+
+    def describe(self) -> str:
+        """One-line summary for logs and the CLI."""
+        cache = (
+            f"{self.hits} cache hits, {self.misses} misses"
+            if self.cache_enabled
+            else "cache off"
+        )
+        return (
+            f"{len(self.timings)} loops in {self.wall_seconds:.2f}s "
+            f"(jobs={self.jobs}, {cache}, {len(self.failures)} failures)"
+        )
+
+
+# ----------------------------------------------------------------------
+# The per-loop worker (module-level so process pools can pickle it)
+
+
+def _evaluate_loop_payload(
+    loop: CorpusLoop,
+    machine,
+    budget_ratio: float,
+    exact_mii: bool,
+    verify_iterations: int,
+):
+    """Evaluate one loop; returns ``(payload, failure, seconds)``.
+
+    Exactly one of ``payload`` / ``failure`` is non-None.  Everything
+    returned is JSON-compatible, so the tuple crosses process boundaries
+    cheaply and uniformly.
+    """
+    timer = PhaseTimer()
+    phase = "setup"
+    try:
+        counters = Counters()
+        phase = "mindist"
+        with timer.phase("mindist"):
+            mii_result = compute_mii(
+                loop.graph, machine, counters, exact=exact_mii
+            )
+        phase = "scheduling"
+        with timer.phase("scheduling"):
+            result = modulo_schedule(
+                loop.graph,
+                machine,
+                budget_ratio=budget_ratio,
+                counters=counters,
+                mii_result=mii_result,
+            )
+            list_sl = list_schedule_length(loop.graph, machine)
+        phase = "mindist"
+        with timer.phase("mindist"):
+            at_mii = schedule_length_lower_bound(loop.graph, mii_result.mii)
+            if result.ii == mii_result.mii:
+                at_ii = at_mii
+            else:
+                at_ii = schedule_length_lower_bound(loop.graph, result.ii)
+        evaluation = LoopEvaluation(
+            loop=loop,
+            n_ops=loop.graph.n_ops,
+            n_real_ops=loop.graph.n_real_ops,
+            n_edges=loop.graph.n_edges,
+            mii_result=mii_result,
+            result=result,
+            list_sl=list_sl,
+            mindist_sl_at_mii=at_mii,
+            mindist_sl_at_ii=at_ii,
+            counters=counters,
+        )
+        payload = evaluation_to_dict(evaluation, machine)
+        if verify_iterations > 0 and loop.lowered is not None:
+            phase = "codegen"
+            with timer.phase("codegen"):
+                from repro.codegen import emit_pipelined_code
+
+                emit_pipelined_code(loop.graph, result.schedule)
+            phase = "simulation"
+            with timer.phase("simulation"):
+                from repro.simulator import check_equivalence
+
+                report = check_equivalence(
+                    loop.lowered, result.schedule, n=verify_iterations
+                )
+            if not report.ok:
+                raise VerificationError(report.describe())
+            payload["verify"] = {"n": verify_iterations, "ok": True}
+        return payload, None, timer.snapshot()
+    except Exception as exc:  # surfaced as a structured LoopFailure
+        failure = {
+            "phase": phase,
+            "error_type": type(exc).__name__,
+            "message": str(exc),
+            "traceback": traceback.format_exc(),
+        }
+        return None, failure, timer.snapshot()
+
+
+# ----------------------------------------------------------------------
+# The engine
+
+
+class EvaluationEngine:
+    """Corpus evaluation with a process pool and an on-disk result cache.
+
+    Parameters
+    ----------
+    machine:
+        The target machine description.
+    budget_ratio, exact_mii:
+        Scheduler configuration, forwarded to :func:`evaluate_loop`'s
+        work and folded into every cache key.
+    jobs:
+        Worker processes for cache misses; ``1`` evaluates in-process,
+        ``0``/``None`` means one per CPU.  Results are always returned in
+        corpus order, independent of completion order.
+    cache_dir:
+        Directory for the content-addressed cache (created on demand);
+        ``None`` disables caching entirely.
+    use_cache:
+        When False, the cache is neither read nor written even if
+        ``cache_dir`` is set (the CLI's ``--no-cache``).
+    verify_iterations:
+        When positive, every loop with front-end metadata additionally
+        runs code generation and ``verify_iterations`` iterations of the
+        cycle-level simulator against the sequential oracle; a mismatch
+        becomes a :class:`LoopFailure` with phase ``"simulation"``.
+    """
+
+    def __init__(
+        self,
+        machine,
+        budget_ratio: float = 6.0,
+        exact_mii: bool = True,
+        jobs: Optional[int] = 1,
+        cache_dir=None,
+        use_cache: bool = True,
+        verify_iterations: int = 0,
+    ) -> None:
+        self.machine = machine
+        self.budget_ratio = budget_ratio
+        self.exact_mii = exact_mii
+        self.jobs = int(jobs) if jobs else (os.cpu_count() or 1)
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.use_cache = use_cache
+        self.verify_iterations = verify_iterations
+
+    # -- cache ---------------------------------------------------------
+
+    @property
+    def caching(self) -> bool:
+        """Whether this engine reads and writes the on-disk cache."""
+        return self.use_cache and self.cache_dir is not None
+
+    def key_for(self, loop: CorpusLoop) -> str:
+        """The cache key of one loop under this engine's configuration."""
+        return cache_key(
+            loop,
+            self.machine,
+            budget_ratio=self.budget_ratio,
+            exact_mii=self.exact_mii,
+            verify_iterations=self.verify_iterations,
+        )
+
+    def cache_path(self, key: str) -> Path:
+        """On-disk location of a cache entry: ``<dir>/<key[:2]>/<key>.json``."""
+        if self.cache_dir is None:
+            raise ValueError("engine has no cache directory")
+        return self.cache_dir / key[:2] / f"{key}.json"
+
+    def _cache_read(self, key: str) -> Optional[Dict[str, Any]]:
+        """Load a payload, or None on miss/corruption (corrupt = miss)."""
+        try:
+            text = self.cache_path(key).read_text()
+            data = json.loads(text)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(data, dict) or data.get("format") != _PAYLOAD_FORMAT:
+            return None
+        return data
+
+    def _cache_write(self, key: str, payload: Dict[str, Any]) -> None:
+        """Atomically persist a payload (write-to-temp, then rename)."""
+        path = self.cache_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle, temp_name = tempfile.mkstemp(
+            dir=str(path.parent), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "w") as stream:
+                json.dump(payload, stream, separators=(",", ":"))
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+
+    # -- evaluation ----------------------------------------------------
+
+    def evaluate(self, corpus: Sequence[CorpusLoop]) -> CorpusEvaluation:
+        """Evaluate a corpus; never raises for per-loop failures."""
+        started = time.perf_counter()
+        n = len(corpus)
+        keys = [self.key_for(loop) for loop in corpus]
+        payloads: List[Optional[Dict[str, Any]]] = [None] * n
+        failures_by_index: Dict[int, LoopFailure] = {}
+        seconds: List[Dict[str, float]] = [{} for _ in range(n)]
+        hit_flags = [False] * n
+
+        pending: List[int] = []
+        for index, key in enumerate(keys):
+            if self.caching:
+                load_started = time.perf_counter()
+                payload = self._cache_read(key)
+                if payload is not None:
+                    elapsed = time.perf_counter() - load_started
+                    payloads[index] = payload
+                    hit_flags[index] = True
+                    seconds[index] = {"load": elapsed, "total": elapsed}
+                    continue
+            pending.append(index)
+
+        config = (
+            self.machine,
+            self.budget_ratio,
+            self.exact_mii,
+            self.verify_iterations,
+        )
+        if self.jobs > 1 and len(pending) > 1:
+            workers = min(self.jobs, len(pending))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(_evaluate_loop_payload, corpus[i], *config)
+                    for i in pending
+                ]
+                outcomes = [future.result() for future in futures]
+        else:
+            outcomes = [
+                _evaluate_loop_payload(corpus[i], *config) for i in pending
+            ]
+
+        for index, (payload, failure, secs) in zip(pending, outcomes):
+            seconds[index] = secs
+            if failure is not None:
+                failures_by_index[index] = LoopFailure(
+                    index=index, loop_name=corpus[index].name, **failure
+                )
+                continue
+            payloads[index] = payload
+            if self.caching:
+                self._cache_write(keys[index], payload)
+
+        evaluations: List[LoopEvaluation] = []
+        failures: List[LoopFailure] = []
+        timings: List[LoopTiming] = []
+        for index, loop in enumerate(corpus):
+            timings.append(
+                LoopTiming(
+                    index=index,
+                    loop_name=loop.name,
+                    key=keys[index],
+                    cache_hit=hit_flags[index],
+                    seconds=seconds[index],
+                )
+            )
+            if index in failures_by_index:
+                failures.append(failures_by_index[index])
+            elif payloads[index] is not None:
+                evaluations.append(
+                    evaluation_from_dict(payloads[index], loop, self.machine)
+                )
+        return CorpusEvaluation(
+            evaluations=evaluations,
+            failures=failures,
+            timings=timings,
+            machine_name=self.machine.name,
+            jobs=self.jobs,
+            cache_dir=str(self.cache_dir) if self.cache_dir else None,
+            cache_enabled=self.caching,
+            hits=sum(hit_flags),
+            misses=len(pending),
+            wall_seconds=time.perf_counter() - started,
+        )
+
+    def evaluate_loop(self, loop: CorpusLoop) -> LoopEvaluation:
+        """Evaluate (or load) one loop; raises on failure."""
+        result = self.evaluate([loop])
+        if result.failures:
+            failure = result.failures[0]
+            raise RuntimeError(failure.describe())
+        return result.evaluations[0]

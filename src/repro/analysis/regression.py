@@ -104,6 +104,45 @@ def fit_quadratic(x: Sequence[float], y: Sequence[float]) -> QuadraticFit:
     return QuadraticFit(float(a), float(b), float(c), _residual_std(ys, predicted))
 
 
+def load_timing_report(path) -> dict:
+    """Load an engine timing report (see ``CorpusEvaluation.timing_report``).
+
+    The regression harness compares these documents across runs — e.g. a
+    cold run against a warm-cache run, or the current build against a
+    baseline — so the loader validates the format marker up front.
+    """
+    import json
+    from pathlib import Path
+
+    data = json.loads(Path(path).read_text())
+    expected = "repro.engine-timing.v1"
+    if not isinstance(data, dict) or data.get("format") != expected:
+        raise ValueError(
+            f"{path}: not an engine timing report "
+            f"(format {data.get('format') if isinstance(data, dict) else data!r})"
+        )
+    return data
+
+
+def timing_speedup(baseline, candidate) -> float:
+    """Wall-clock speedup of ``candidate`` over ``baseline``.
+
+    Both arguments are timing reports (dicts) or paths to them.  Returns
+    ``baseline_wall / candidate_wall``; a zero-cost candidate reports
+    ``inf``.  CI uses this to assert that a warm-cache run is at least 5x
+    faster than the cold run that populated the cache.
+    """
+    if not isinstance(baseline, dict):
+        baseline = load_timing_report(baseline)
+    if not isinstance(candidate, dict):
+        candidate = load_timing_report(candidate)
+    base = float(baseline["wall_seconds"])
+    cand = float(candidate["wall_seconds"])
+    if cand <= 0.0:
+        return math.inf
+    return base / cand
+
+
 def fit_power(x: Sequence[float], y: Sequence[float]) -> PowerFit:
     """Log-log fit: the exponent estimates the empirical complexity order.
 

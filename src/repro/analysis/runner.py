@@ -138,9 +138,35 @@ def evaluate_corpus(
     machine,
     budget_ratio: float = 6.0,
     exact_mii: bool = True,
+    jobs: Optional[int] = 1,
+    cache_dir=None,
+    use_cache: bool = True,
+    verify_iterations: int = 0,
+    failures: Optional[list] = None,
 ) -> List[LoopEvaluation]:
-    """Evaluate every loop of a corpus (order preserved)."""
-    return [
-        evaluate_loop(loop, machine, budget_ratio, exact_mii)
-        for loop in corpus
-    ]
+    """Evaluate every loop of a corpus (order preserved).
+
+    Delegates to :class:`repro.analysis.engine.EvaluationEngine`: ``jobs``
+    fans the work out over a process pool, and ``cache_dir`` enables the
+    content-addressed result cache (``use_cache=False`` bypasses it).
+
+    A loop that raises no longer aborts the whole run — it is skipped and
+    reported as a structured :class:`repro.analysis.engine.LoopFailure`,
+    appended to ``failures`` when a list is supplied.  Use the engine
+    directly for the full result (failures, timings, cache counters).
+    """
+    from repro.analysis.engine import EvaluationEngine
+
+    engine = EvaluationEngine(
+        machine,
+        budget_ratio=budget_ratio,
+        exact_mii=exact_mii,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        use_cache=use_cache,
+        verify_iterations=verify_iterations,
+    )
+    result = engine.evaluate(corpus)
+    if failures is not None:
+        failures.extend(result.failures)
+    return result.evaluations

@@ -160,16 +160,42 @@ def _cmd_schedule(args, out) -> int:
 def _cmd_corpus(args, out) -> int:
     from collections import Counter
 
-    from repro.analysis import distribution_row, evaluate_corpus, render_table
+    from repro.analysis import distribution_row, render_table
+    from repro.analysis.engine import EvaluationEngine
+    from repro.analysis.report import render_phase_summary
     from repro.workloads import build_corpus
     from repro.workloads.kernels import KERNELS
 
     machine = MACHINES[args.machine]()
     n_synthetic = max(0, args.loops - len(KERNELS))
     corpus = build_corpus(machine, n_synthetic=n_synthetic, seed=args.seed)
-    evaluations = evaluate_corpus(
-        corpus, machine, budget_ratio=args.budget_ratio
-    )
+    try:
+        engine = EvaluationEngine(
+            machine,
+            budget_ratio=args.budget_ratio,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            use_cache=not args.no_cache,
+            verify_iterations=args.verify,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        result = engine.evaluate(corpus)
+    except OSError as exc:
+        print(f"error: cache directory unusable: {exc}", file=sys.stderr)
+        return 2
+    if args.timings:
+        path = result.write_timing_json(args.timings)
+        print(render_phase_summary(result.phase_seconds()), file=out)
+        print(f"timing report written to {path}", file=out)
+    evaluations = result.evaluations
+    if not evaluations:
+        print(f"engine: {result.describe()}", file=out)
+        for failure in result.failures:
+            print(f"  FAILED {failure.describe()}", file=out)
+        return 1
     rows = [
         distribution_row("ops", [e.n_real_ops for e in evaluations], 4),
         distribution_row("MII", [e.mii for e in evaluations], 1),
@@ -191,6 +217,11 @@ def _cmd_corpus(args, out) -> int:
         f"II = MII on {census[0] / len(evaluations):.1%} of loops",
         file=out,
     )
+    print(f"engine: {result.describe()}", file=out)
+    if result.failures:
+        for failure in result.failures:
+            print(f"  FAILED {failure.describe()}", file=out)
+        return 1
     return 0
 
 
@@ -261,6 +292,29 @@ def build_parser() -> argparse.ArgumentParser:
     corpus.add_argument("--loops", type=int, default=200)
     corpus.add_argument("--seed", type=int, default=0)
     corpus.add_argument("--budget-ratio", type=float, default=6.0)
+    corpus.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the evaluation engine "
+             "(0 = one per CPU; default 1)",
+    )
+    corpus.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="content-addressed result cache directory "
+             "(unchanged loops are never re-scheduled across runs)",
+    )
+    corpus.add_argument(
+        "--no-cache", action="store_true",
+        help="neither read nor write the result cache",
+    )
+    corpus.add_argument(
+        "--timings", default=None, metavar="FILE",
+        help="write the engine's structured timing report (JSON) to FILE",
+    )
+    corpus.add_argument(
+        "--verify", type=int, default=0, metavar="N",
+        help="simulate N iterations of every front-end loop against the "
+             "sequential oracle (mismatches become failure records)",
+    )
     corpus.set_defaults(handler=_cmd_corpus)
     return parser
 

@@ -35,10 +35,11 @@ from repro.core.preunroll import (
     recommend_unroll,
     unroll_for_modulo,
 )
-from repro.core.trace import ScheduleTrace, TraceEvent
+from repro.core.trace import PhaseTimer, ScheduleTrace, TraceEvent
 from repro.core.instruction_scheduler import InstructionDrivenScheduler
 
 __all__ = [
+    "PhaseTimer",
     "ScheduleTrace",
     "TraceEvent",
     "InstructionDrivenScheduler",

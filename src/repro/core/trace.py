@@ -16,8 +16,47 @@ Usage::
 
 from __future__ import annotations
 
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, Iterator, List, Optional
+
+
+@dataclass
+class PhaseTimer:
+    """Wall-clock accounting of named work phases.
+
+    The corpus-evaluation engine (:mod:`repro.analysis.engine`) times each
+    per-loop phase — mindist, scheduling, codegen, simulation — with one of
+    these and emits the result as a structured timing record.  Entering the
+    same phase twice accumulates, so a phase may be split around work that
+    belongs elsewhere (e.g. MinDist bounds recomputed after scheduling).
+    """
+
+    seconds: Dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time a ``with`` block and charge it to ``name`` (accumulating)."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
+
+    def charge(self, name: str, elapsed: float) -> None:
+        """Charge ``elapsed`` seconds to ``name`` directly."""
+        self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
+
+    @property
+    def total(self) -> float:
+        """Sum over all phases."""
+        return sum(self.seconds.values())
+
+    def snapshot(self) -> Dict[str, float]:
+        """Plain-dict copy of the phase times, with a ``"total"`` key."""
+        return {**self.seconds, "total": self.total}
 
 
 @dataclass(frozen=True)

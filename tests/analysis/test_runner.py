@@ -66,3 +66,14 @@ class TestReportRendering:
         )
         assert "ratio" in text
         assert "0.0500" in text
+
+    def test_render_phase_summary_orders_and_pins_total(self):
+        from repro.analysis import render_phase_summary
+
+        text = render_phase_summary(
+            {"scheduling": 2.0, "mindist": 3.0, "total": 5.0}
+        )
+        lines = text.splitlines()
+        assert lines[0] == "engine phase seconds:"
+        body = [line.split()[0] for line in lines[3:]]
+        assert body == ["mindist", "scheduling", "total"]

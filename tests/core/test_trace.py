@@ -102,3 +102,37 @@ class TestForwardProgress:
         trace.attempt(4)
         trace.force(5, 7)  # new attempt: same slot is fine
         assert trace.forward_progress_holds()
+
+
+class TestPhaseTimer:
+    def test_phases_accumulate(self):
+        from repro.core.trace import PhaseTimer
+
+        timer = PhaseTimer()
+        with timer.phase("mindist"):
+            pass
+        with timer.phase("mindist"):
+            pass
+        with timer.phase("scheduling"):
+            pass
+        assert set(timer.seconds) == {"mindist", "scheduling"}
+        assert timer.seconds["mindist"] >= 0.0
+        assert timer.total == pytest.approx(sum(timer.seconds.values()))
+
+    def test_charged_even_when_block_raises(self):
+        from repro.core.trace import PhaseTimer
+
+        timer = PhaseTimer()
+        with pytest.raises(ValueError):
+            with timer.phase("scheduling"):
+                raise ValueError("boom")
+        assert "scheduling" in timer.seconds
+
+    def test_snapshot_has_total(self):
+        from repro.core.trace import PhaseTimer
+
+        timer = PhaseTimer()
+        timer.charge("simulation", 0.25)
+        timer.charge("simulation", 0.25)
+        snapshot = timer.snapshot()
+        assert snapshot == {"simulation": 0.5, "total": 0.5}

@@ -82,9 +82,60 @@ class TestCorpus:
         assert code == 0
         assert "II = MII" in text
         assert "loops on" in text
+        assert "engine:" in text
+
+    def test_parallel_jobs_flag(self):
+        code, text = _run(["corpus", "--loops", "70", "--jobs", "2"])
+        assert code == 0
+        assert "jobs=2" in text
+
+    def test_cache_and_timings_flags(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        cold_json = str(tmp_path / "cold.json")
+        warm_json = str(tmp_path / "warm.json")
+        argv = ["corpus", "--loops", "70", "--cache-dir", cache]
+        code, text = _run(argv + ["--timings", cold_json])
+        assert code == 0
+        assert "0 cache hits" in text
+        assert "scheduling" in text  # the phase summary table
+        code, text = _run(argv + ["--timings", warm_json])
+        assert code == 0
+        assert "0 misses" in text
+        cold = json.load(open(cold_json))
+        warm = json.load(open(warm_json))
+        assert cold["format"] == "repro.engine-timing.v1"
+        assert warm["cache"]["hits"] == warm["n_loops"]
+        assert warm["phase_seconds"].get("scheduling", 0.0) == 0.0
+
+    def test_no_cache_flag(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        code, text = _run(
+            ["corpus", "--loops", "70", "--cache-dir", cache, "--no-cache"]
+        )
+        assert code == 0
+        assert "cache off" in text
+
+    def test_verify_flag(self):
+        code, text = _run(["corpus", "--loops", "66", "--verify", "8"])
+        assert code == 0
+        assert "0 failures" in text
 
 
 class TestErrors:
+    def test_negative_jobs_rejected_cleanly(self, capsys):
+        code, _ = _run(["corpus", "--loops", "66", "--jobs", "-3"])
+        assert code == 2
+        assert "jobs must be >= 1" in capsys.readouterr().err
+
+    def test_unusable_cache_dir_rejected_cleanly(self, tmp_path, capsys):
+        not_a_dir = tmp_path / "file"
+        not_a_dir.write_text("")
+        code, _ = _run(
+            ["corpus", "--loops", "66", "--cache-dir", str(not_a_dir)]
+        )
+        assert code == 2
+        assert "cache directory unusable" in capsys.readouterr().err
+
     def test_unknown_machine_rejected(self, dot_file):
         with pytest.raises(SystemExit):
             _run(["schedule", dot_file, "--machine", "pdp11"])
