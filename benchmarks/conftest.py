@@ -66,7 +66,9 @@ def corpus(machine):
 
 @pytest.fixture(scope="session")
 def engine(machine):
-    """The shared corpus-evaluation engine (parallel, cached)."""
+    """The shared corpus-evaluation engine (parallel, cached, traced)."""
+    from repro.obs import ObsContext
+
     return EvaluationEngine(
         machine,
         budget_ratio=QUALITY_BUDGET_RATIO,
@@ -74,6 +76,7 @@ def engine(machine):
         jobs=_engine_jobs(),
         cache_dir=CACHE_DIR,
         use_cache="REPRO_BENCH_NO_CACHE" not in os.environ,
+        obs=ObsContext(),
     )
 
 
@@ -82,12 +85,22 @@ def evaluations(engine, corpus):
     """Full-corpus evaluation at the quality BudgetRatio, exact MII.
 
     The engine's structured timing report (per-loop phase times, cache
-    hit/miss counters) lands in ``benchmarks/results/engine_timing.json``
-    for the regression harness.
+    hit/miss counters, run-level complexity-counter totals) lands in
+    ``benchmarks/results/engine_timing.json`` and the full observability
+    snapshot (spans + metrics, docs/OBSERVABILITY.md) in
+    ``benchmarks/results/engine_obs.jsonl`` for the regression harness.
     """
+    from repro.obs.exporters import write_jsonl
+
     result = engine.evaluate(corpus)
     RESULTS_DIR.mkdir(exist_ok=True)
     result.write_timing_json(RESULTS_DIR / "engine_timing.json")
+    write_jsonl(
+        engine.obs.to_dict(),
+        RESULTS_DIR / "engine_obs.jsonl",
+        run={"harness": "benchmarks", "loops": len(corpus),
+             "jobs": _engine_jobs()},
+    )
     print(f"\n[engine] {result.describe()}")
     if result.failures:
         details = "\n  ".join(f.describe() for f in result.failures)

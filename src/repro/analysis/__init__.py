@@ -26,14 +26,17 @@ from repro.analysis.engine import (
 )
 from repro.analysis.model import execution_time, execution_time_bound
 from repro.analysis.regression import (
+    counter_totals,
     fit_linear,
     fit_quadratic,
     fit_power,
+    load_obs_records,
     load_timing_report,
     timing_speedup,
 )
 from repro.analysis.runner import LoopEvaluation, evaluate_loop, evaluate_corpus
 from repro.analysis.report import (
+    render_obs_summary,
     render_phase_summary,
     render_series,
     render_table,
@@ -52,14 +55,17 @@ __all__ = [
     "evaluation_to_dict",
     "execution_time",
     "execution_time_bound",
+    "counter_totals",
     "fit_linear",
     "fit_quadratic",
     "fit_power",
+    "load_obs_records",
     "load_timing_report",
     "timing_speedup",
     "LoopEvaluation",
     "evaluate_loop",
     "evaluate_corpus",
+    "render_obs_summary",
     "render_phase_summary",
     "render_table",
     "render_series",

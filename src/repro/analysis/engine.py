@@ -34,7 +34,7 @@ import tempfile
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Union
 
@@ -47,13 +47,14 @@ from repro.core.stats import Counters
 from repro.core.trace import PhaseTimer
 from repro.ir.serialize import graph_to_dict, schedule_from_dict, schedule_to_dict
 from repro.machine.serialize import machine_to_dict
+from repro.obs.context import NULL_OBS, ObsContext
 from repro.workloads.corpus import CorpusLoop
 
 #: Version of the evaluation semantics baked into every cache key.  Bump
 #: whenever the meaning of a cached payload changes (new measurements, a
 #: scheduler fix that alters results, a payload schema change) so stale
 #: entries are never resurrected.
-CODE_FORMAT_VERSION = 1
+CODE_FORMAT_VERSION = 2  # v2: Counters gained ops_forced (obs layer)
 
 _PAYLOAD_FORMAT = "repro.loop-evaluation.v1"
 TIMING_FORMAT = "repro.engine-timing.v1"
@@ -246,7 +247,12 @@ class CorpusEvaluation:
 
     ``evaluations`` holds the successful records in corpus order;
     ``failures`` the loops that raised (also in corpus order); ``timings``
-    one record per corpus loop regardless of outcome.
+    one record per corpus loop regardless of outcome.  ``counters`` is
+    the run-level :class:`Counters` aggregate merged over every
+    successful evaluation — cache hits included — so Table-4-style
+    complexity data survives any ``jobs`` fan-out.  ``metrics`` is the
+    deterministic metric snapshot of the engine's
+    :class:`~repro.obs.ObsContext` (``None`` when observability is off).
     """
 
     evaluations: List[LoopEvaluation]
@@ -259,6 +265,8 @@ class CorpusEvaluation:
     hits: int
     misses: int
     wall_seconds: float
+    counters: Counters = field(default_factory=Counters)
+    metrics: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -274,7 +282,13 @@ class CorpusEvaluation:
         return totals
 
     def timing_report(self) -> Dict[str, Any]:
-        """The structured timing document the regression harness consumes."""
+        """The structured timing document the regression harness consumes.
+
+        Alongside the timings proper the report carries the run-level
+        telemetry snapshot: the aggregated algorithm ``counters`` and,
+        when the run was observed, the deterministic ``metrics``
+        registry — a stable schema for BENCH_*.json to track across PRs.
+        """
         return {
             "format": TIMING_FORMAT,
             "machine": self.machine_name,
@@ -289,6 +303,8 @@ class CorpusEvaluation:
             "n_failures": len(self.failures),
             "wall_seconds": self.wall_seconds,
             "phase_seconds": self.phase_seconds(),
+            "counters": self.counters.snapshot(),
+            "metrics": self.metrics,
             "loops": [t.to_dict() for t in self.timings],
             "failures": [f.to_dict() for f in self.failures],
         }
@@ -323,77 +339,94 @@ def _evaluate_loop_payload(
     budget_ratio: float,
     exact_mii: bool,
     verify_iterations: int,
+    observe: bool = False,
 ):
-    """Evaluate one loop; returns ``(payload, failure, seconds)``.
+    """Evaluate one loop; returns ``(payload, failure, seconds, obs)``.
 
     Exactly one of ``payload`` / ``failure`` is non-None.  Everything
     returned is JSON-compatible, so the tuple crosses process boundaries
-    cheaply and uniformly.
+    cheaply and uniformly.  With ``observe=True`` the loop runs under its
+    own :class:`~repro.obs.ObsContext`; its serialized snapshot rides
+    back in the fourth slot for the engine to merge (``None`` otherwise).
     """
-    timer = PhaseTimer()
+    obs = ObsContext() if observe else NULL_OBS
+    timer = obs.timer()
     phase = "setup"
-    try:
-        counters = Counters()
-        phase = "mindist"
-        with timer.phase("mindist"):
-            mii_result = compute_mii(
-                loop.graph, machine, counters, exact=exact_mii
-            )
-        phase = "scheduling"
-        with timer.phase("scheduling"):
-            result = modulo_schedule(
-                loop.graph,
-                machine,
-                budget_ratio=budget_ratio,
-                counters=counters,
-                mii_result=mii_result,
-            )
-            list_sl = list_schedule_length(loop.graph, machine)
-        phase = "mindist"
-        with timer.phase("mindist"):
-            at_mii = schedule_length_lower_bound(loop.graph, mii_result.mii)
-            if result.ii == mii_result.mii:
-                at_ii = at_mii
-            else:
-                at_ii = schedule_length_lower_bound(loop.graph, result.ii)
-        evaluation = LoopEvaluation(
-            loop=loop,
-            n_ops=loop.graph.n_ops,
-            n_real_ops=loop.graph.n_real_ops,
-            n_edges=loop.graph.n_edges,
-            mii_result=mii_result,
-            result=result,
-            list_sl=list_sl,
-            mindist_sl_at_mii=at_mii,
-            mindist_sl_at_ii=at_ii,
-            counters=counters,
-        )
-        payload = evaluation_to_dict(evaluation, machine)
-        if verify_iterations > 0 and loop.lowered is not None:
-            phase = "codegen"
-            with timer.phase("codegen"):
-                from repro.codegen import emit_pipelined_code
-
-                emit_pipelined_code(loop.graph, result.schedule)
-            phase = "simulation"
-            with timer.phase("simulation"):
-                from repro.simulator import check_equivalence
-
-                report = check_equivalence(
-                    loop.lowered, result.schedule, n=verify_iterations
+    payload = None
+    failure = None
+    with obs.span("loop", loop=loop.name) as loop_span:
+        try:
+            counters = Counters()
+            phase = "mindist"
+            with timer.phase("mindist"):
+                mii_result = compute_mii(
+                    loop.graph, machine, counters, exact=exact_mii, obs=obs
                 )
-            if not report.ok:
-                raise VerificationError(report.describe())
-            payload["verify"] = {"n": verify_iterations, "ok": True}
-        return payload, None, timer.snapshot()
-    except Exception as exc:  # surfaced as a structured LoopFailure
-        failure = {
-            "phase": phase,
-            "error_type": type(exc).__name__,
-            "message": str(exc),
-            "traceback": traceback.format_exc(),
-        }
-        return None, failure, timer.snapshot()
+            phase = "scheduling"
+            with timer.phase("scheduling"):
+                result = modulo_schedule(
+                    loop.graph,
+                    machine,
+                    budget_ratio=budget_ratio,
+                    counters=counters,
+                    mii_result=mii_result,
+                    obs=obs,
+                )
+                list_sl = list_schedule_length(loop.graph, machine)
+            phase = "mindist"
+            with timer.phase("mindist"):
+                at_mii = schedule_length_lower_bound(
+                    loop.graph, mii_result.mii, obs=obs
+                )
+                if result.ii == mii_result.mii:
+                    at_ii = at_mii
+                else:
+                    at_ii = schedule_length_lower_bound(
+                        loop.graph, result.ii, obs=obs
+                    )
+            evaluation = LoopEvaluation(
+                loop=loop,
+                n_ops=loop.graph.n_ops,
+                n_real_ops=loop.graph.n_real_ops,
+                n_edges=loop.graph.n_edges,
+                mii_result=mii_result,
+                result=result,
+                list_sl=list_sl,
+                mindist_sl_at_mii=at_mii,
+                mindist_sl_at_ii=at_ii,
+                counters=counters,
+            )
+            payload = evaluation_to_dict(evaluation, machine)
+            if verify_iterations > 0 and loop.lowered is not None:
+                phase = "codegen"
+                with timer.phase("codegen"):
+                    from repro.codegen import emit_pipelined_code
+
+                    emit_pipelined_code(loop.graph, result.schedule)
+                phase = "simulation"
+                with timer.phase("simulation"):
+                    from repro.simulator import check_equivalence
+
+                    report = check_equivalence(
+                        loop.lowered, result.schedule, n=verify_iterations
+                    )
+                if not report.ok:
+                    raise VerificationError(report.describe())
+                payload["verify"] = {"n": verify_iterations, "ok": True}
+            loop_span.set("ii", result.ii)
+            loop_span.set("ok", True)
+        except Exception as exc:  # surfaced as a structured LoopFailure
+            payload = None
+            failure = {
+                "phase": phase,
+                "error_type": type(exc).__name__,
+                "message": str(exc),
+                "traceback": traceback.format_exc(),
+            }
+            loop_span.set("ok", False)
+            loop_span.set("failed_phase", phase)
+    obs_snapshot = obs.to_dict() if observe else None
+    return payload, failure, timer.snapshot(), obs_snapshot
 
 
 # ----------------------------------------------------------------------
@@ -425,6 +458,14 @@ class EvaluationEngine:
         runs code generation and ``verify_iterations`` iterations of the
         cycle-level simulator against the sequential oracle; a mismatch
         becomes a :class:`LoopFailure` with phase ``"simulation"``.
+    obs:
+        Optional :class:`repro.obs.ObsContext`.  When given, the run is
+        traced end to end: a ``corpus.evaluate`` root span, a per-loop
+        span tree from every worker (merged through the same JSON
+        round-trip the payloads use), ``cache.load`` spans for hits, and
+        a deterministic metric snapshot (cache counters, aggregated
+        algorithm counters, II/attempt histograms) that is byte-identical
+        for any ``jobs`` value.
     """
 
     def __init__(
@@ -436,6 +477,7 @@ class EvaluationEngine:
         cache_dir=None,
         use_cache: bool = True,
         verify_iterations: int = 0,
+        obs=None,
     ) -> None:
         self.machine = machine
         self.budget_ratio = budget_ratio
@@ -446,6 +488,7 @@ class EvaluationEngine:
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.use_cache = use_cache
         self.verify_iterations = verify_iterations
+        self.obs = obs if obs is not None else NULL_OBS
 
     # -- cache ---------------------------------------------------------
 
@@ -504,75 +547,102 @@ class EvaluationEngine:
     def evaluate(self, corpus: Sequence[CorpusLoop]) -> CorpusEvaluation:
         """Evaluate a corpus; never raises for per-loop failures."""
         started = time.perf_counter()
+        obs = self.obs
         n = len(corpus)
-        keys = [self.key_for(loop) for loop in corpus]
-        payloads: List[Optional[Dict[str, Any]]] = [None] * n
-        failures_by_index: Dict[int, LoopFailure] = {}
-        seconds: List[Dict[str, float]] = [{} for _ in range(n)]
-        hit_flags = [False] * n
+        with obs.span("corpus.evaluate", loops=n, jobs=self.jobs) as root:
+            keys = [self.key_for(loop) for loop in corpus]
+            payloads: List[Optional[Dict[str, Any]]] = [None] * n
+            failures_by_index: Dict[int, LoopFailure] = {}
+            seconds: List[Dict[str, float]] = [{} for _ in range(n)]
+            hit_flags = [False] * n
 
-        pending: List[int] = []
-        for index, key in enumerate(keys):
-            if self.caching:
-                load_started = time.perf_counter()
-                payload = self._cache_read(key)
-                if payload is not None:
-                    elapsed = time.perf_counter() - load_started
-                    payloads[index] = payload
-                    hit_flags[index] = True
-                    seconds[index] = {"load": elapsed, "total": elapsed}
-                    continue
-            pending.append(index)
+            pending: List[int] = []
+            for index, key in enumerate(keys):
+                if self.caching:
+                    load_started = time.perf_counter()
+                    with obs.span("cache.load", loop=corpus[index].name):
+                        payload = self._cache_read(key)
+                    if payload is not None:
+                        elapsed = time.perf_counter() - load_started
+                        payloads[index] = payload
+                        hit_flags[index] = True
+                        seconds[index] = {"load": elapsed, "total": elapsed}
+                        continue
+                pending.append(index)
 
-        config = (
-            self.machine,
-            self.budget_ratio,
-            self.exact_mii,
-            self.verify_iterations,
-        )
-        if self.jobs > 1 and len(pending) > 1:
-            workers = min(self.jobs, len(pending))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [
-                    pool.submit(_evaluate_loop_payload, corpus[i], *config)
+            config = (
+                self.machine,
+                self.budget_ratio,
+                self.exact_mii,
+                self.verify_iterations,
+                obs.enabled,
+            )
+            if self.jobs > 1 and len(pending) > 1:
+                workers = min(self.jobs, len(pending))
+                with obs.span("corpus.fanout", workers=workers):
+                    with ProcessPoolExecutor(max_workers=workers) as pool:
+                        futures = [
+                            pool.submit(
+                                _evaluate_loop_payload, corpus[i], *config
+                            )
+                            for i in pending
+                        ]
+                        outcomes = [future.result() for future in futures]
+            else:
+                outcomes = [
+                    _evaluate_loop_payload(corpus[i], *config)
                     for i in pending
                 ]
-                outcomes = [future.result() for future in futures]
-        else:
-            outcomes = [
-                _evaluate_loop_payload(corpus[i], *config) for i in pending
-            ]
 
-        for index, (payload, failure, secs) in zip(pending, outcomes):
-            seconds[index] = secs
-            if failure is not None:
-                failures_by_index[index] = LoopFailure(
-                    index=index, loop_name=corpus[index].name, **failure
-                )
-                continue
-            payloads[index] = payload
-            if self.caching:
-                self._cache_write(keys[index], payload)
+            for index, (payload, failure, secs, snapshot) in zip(
+                pending, outcomes
+            ):
+                seconds[index] = secs
+                obs.absorb(snapshot, parent=root, index=index)
+                if failure is not None:
+                    failures_by_index[index] = LoopFailure(
+                        index=index, loop_name=corpus[index].name, **failure
+                    )
+                    continue
+                payloads[index] = payload
+                if self.caching:
+                    self._cache_write(keys[index], payload)
 
-        evaluations: List[LoopEvaluation] = []
-        failures: List[LoopFailure] = []
-        timings: List[LoopTiming] = []
-        for index, loop in enumerate(corpus):
-            timings.append(
-                LoopTiming(
-                    index=index,
-                    loop_name=loop.name,
-                    key=keys[index],
-                    cache_hit=hit_flags[index],
-                    seconds=seconds[index],
+            evaluations: List[LoopEvaluation] = []
+            failures: List[LoopFailure] = []
+            timings: List[LoopTiming] = []
+            for index, loop in enumerate(corpus):
+                timings.append(
+                    LoopTiming(
+                        index=index,
+                        loop_name=loop.name,
+                        key=keys[index],
+                        cache_hit=hit_flags[index],
+                        seconds=seconds[index],
+                    )
                 )
-            )
-            if index in failures_by_index:
-                failures.append(failures_by_index[index])
-            elif payloads[index] is not None:
-                evaluations.append(
-                    evaluation_from_dict(payloads[index], loop, self.machine)
-                )
+                if index in failures_by_index:
+                    failures.append(failures_by_index[index])
+                elif payloads[index] is not None:
+                    evaluations.append(
+                        evaluation_from_dict(
+                            payloads[index], loop, self.machine
+                        )
+                    )
+
+            # Run-level telemetry: the Counters aggregate survives any
+            # jobs fan-out (and cache hits) because every evaluation's
+            # bundle rides through the same JSON payload.
+            totals = Counters()
+            for evaluation in evaluations:
+                totals.merge(evaluation.counters)
+                obs.histogram("loop.ops").observe(evaluation.n_real_ops)
+            obs.absorb_counters(totals)
+            obs.counter("engine.loops").inc(n)
+            obs.counter("engine.failures").inc(len(failures))
+            obs.counter("engine.cache.hits").inc(sum(hit_flags))
+            obs.counter("engine.cache.misses").inc(len(pending))
+            root.set("failures", len(failures))
         return CorpusEvaluation(
             evaluations=evaluations,
             failures=failures,
@@ -584,6 +654,8 @@ class EvaluationEngine:
             hits=sum(hit_flags),
             misses=len(pending),
             wall_seconds=time.perf_counter() - started,
+            counters=totals,
+            metrics=obs.metrics.snapshot() if obs.enabled else None,
         )
 
     def evaluate_loop(self, loop: CorpusLoop) -> LoopEvaluation:

@@ -124,6 +124,40 @@ def load_timing_report(path) -> dict:
     return data
 
 
+def load_obs_records(path) -> list:
+    """Load and schema-validate a ``repro.obs.v1`` JSONL export.
+
+    Returns the decoded record list; raises :class:`ValueError` with the
+    validator's findings when the file is not schema-valid.  This is the
+    regression harness's entry point for telemetry diffs — the same
+    validator gates CI (``python -m repro.obs.check``).
+    """
+    import json
+    from pathlib import Path
+
+    from repro.obs.schema import validate_jsonl
+
+    text = Path(path).read_text()
+    errors = validate_jsonl(text)
+    if errors:
+        raise ValueError(
+            f"{path}: not a valid repro.obs.v1 export: " + "; ".join(errors[:5])
+        )
+    return [json.loads(line) for line in text.splitlines() if line.strip()]
+
+
+def counter_totals(report) -> dict:
+    """The run-level counter aggregate of a timing report (or its path).
+
+    Returns the ``counters`` snapshot (empty for pre-telemetry reports),
+    letting the harness compare Table-4-style complexity counters across
+    runs and job counts.
+    """
+    if not isinstance(report, dict):
+        report = load_timing_report(report)
+    return dict(report.get("counters") or {})
+
+
 def timing_speedup(baseline, candidate) -> float:
     """Wall-clock speedup of ``candidate`` over ``baseline``.
 

@@ -58,3 +58,55 @@ def render_phase_summary(
         named.append(("total", phase_seconds["total"]))
     rows = [[name, f"{seconds:.3f}"] for name, seconds in named]
     return render_table(["phase", "seconds"], rows, title=title)
+
+
+def render_obs_summary(snapshot, title: str = "observability summary:") -> str:
+    """Text exporter for an ``ObsContext.to_dict()`` snapshot.
+
+    Three blocks: spans aggregated by name (count, total and mean
+    seconds, longest first), then the counter and histogram registries.
+    This is the human-facing view of the same record the JSONL and
+    Chrome exporters serialize.
+    """
+    lines: List[str] = [title] if title else []
+
+    by_name = {}
+    for span in snapshot.get("spans", ()):
+        count, total = by_name.get(span["name"], (0, 0.0))
+        by_name[span["name"]] = (count + 1, total + span["dur"])
+    rows = [
+        [name, str(count), f"{total:.3f}", f"{total / count:.6f}"]
+        for name, (count, total) in sorted(
+            by_name.items(), key=lambda item: (-item[1][1], item[0])
+        )
+    ]
+    if rows:
+        lines.append(
+            render_table(["span", "count", "total s", "mean s"], rows)
+        )
+
+    metrics = snapshot.get("metrics", {})
+    counter_rows = [
+        [name, f"{value:g}"]
+        for name, value in sorted(metrics.get("counters", {}).items())
+    ]
+    if counter_rows:
+        lines.append(render_table(["counter", "value"], counter_rows))
+    histogram_rows = [
+        [
+            name,
+            str(data["count"]),
+            f"{data['total']:g}",
+            f"{data['min']:g}",
+            f"{data['max']:g}",
+        ]
+        for name, data in sorted(metrics.get("histograms", {}).items())
+        if data["count"]
+    ]
+    if histogram_rows:
+        lines.append(
+            render_table(
+                ["histogram", "count", "sum", "min", "max"], histogram_rows
+            )
+        )
+    return "\n\n".join(lines)

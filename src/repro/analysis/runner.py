@@ -143,6 +143,8 @@ def evaluate_corpus(
     use_cache: bool = True,
     verify_iterations: int = 0,
     failures: Optional[list] = None,
+    counters: Optional[Counters] = None,
+    obs=None,
 ) -> List[LoopEvaluation]:
     """Evaluate every loop of a corpus (order preserved).
 
@@ -152,8 +154,13 @@ def evaluate_corpus(
 
     A loop that raises no longer aborts the whole run — it is skipped and
     reported as a structured :class:`repro.analysis.engine.LoopFailure`,
-    appended to ``failures`` when a list is supplied.  Use the engine
-    directly for the full result (failures, timings, cache counters).
+    appended to ``failures`` when a list is supplied.  Pass a
+    :class:`Counters` as ``counters`` to receive the run-level aggregate
+    merged over every evaluation (identical for any ``jobs`` value — the
+    per-loop bundles ride back through the engine's JSON payloads), and
+    an :class:`repro.obs.ObsContext` as ``obs`` to trace the run.  Use
+    the engine directly for the full result (failures, timings, cache
+    counters, the metric snapshot).
     """
     from repro.analysis.engine import EvaluationEngine
 
@@ -165,8 +172,11 @@ def evaluate_corpus(
         cache_dir=cache_dir,
         use_cache=use_cache,
         verify_iterations=verify_iterations,
+        obs=obs,
     )
     result = engine.evaluate(corpus)
     if failures is not None:
         failures.extend(result.failures)
+    if counters is not None:
+        counters.merge(result.counters)
     return result.evaluations

@@ -42,6 +42,64 @@ MACHINES: Dict[str, Callable] = {
 }
 
 
+class _ObsConfigError(Exception):
+    """A bad --obs-out / --obs-format combination (clean exit code 2)."""
+
+
+def _obs_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--obs-out", default=None, metavar="FILE",
+        help="trace the run and write spans + metrics to FILE "
+             "(repro.obs.v1 JSONL by default)",
+    )
+    parser.add_argument(
+        "--obs-format", default="jsonl", metavar="FMT",
+        help="obs export format: jsonl (schema repro.obs.v1) or chrome "
+             "(Perfetto / chrome://tracing trace-event JSON)",
+    )
+
+
+def _obs_context(args):
+    """Build the ObsContext requested by --obs-out, validating up front.
+
+    Returns ``None`` when tracing was not requested.  An unknown format
+    or an unwritable output path raises :class:`_ObsConfigError` *before*
+    any scheduling work happens (mirroring the --cache-dir handling: a
+    clean message on stderr and exit code 2, never a traceback after a
+    long run).
+    """
+    if args.obs_out is None:
+        return None
+    from repro.obs import FORMATS, ObsContext
+
+    if args.obs_format not in FORMATS:
+        raise _ObsConfigError(
+            f"unknown obs format {args.obs_format!r} "
+            f"(choose from {', '.join(FORMATS)})"
+        )
+    try:
+        with open(args.obs_out, "w"):
+            pass
+    except OSError as exc:
+        raise _ObsConfigError(
+            f"obs output path unusable: {exc}"
+        ) from None
+    return ObsContext()
+
+
+def _write_obs(obs, args, out, run: Dict) -> None:
+    """Export a traced run to --obs-out and print the text summary."""
+    from repro.analysis.report import render_obs_summary
+    from repro.obs import write_export
+
+    snapshot = obs.to_dict()
+    path = write_export(snapshot, args.obs_out, args.obs_format, run=run)
+    print(render_obs_summary(snapshot), file=out)
+    print(
+        f"obs export ({args.obs_format}) written to {path}", file=out
+    )
+
+
 def _machine_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--machine",
@@ -112,17 +170,35 @@ def _cmd_mii(args, out) -> int:
 
 def _cmd_schedule(args, out) -> int:
     from repro.core import ScheduleTrace
+    from repro.obs.context import NULL_OBS
 
-    lowered, machine = _compile(args, out)
+    try:
+        obs = _obs_context(args)
+    except _ObsConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    obs = obs if obs is not None else NULL_OBS
+    with obs.span("frontend", file=args.file):
+        lowered, machine = _compile(args, out)
     trace = ScheduleTrace() if args.trace else None
     result = modulo_schedule(
         lowered.graph,
         machine,
         budget_ratio=args.budget_ratio,
         trace=trace,
+        obs=obs,
     )
     if args.json:
         print(schedule_to_json(result.schedule, machine, indent=2), file=out)
+        if args.obs_out:
+            from repro.obs import write_export
+
+            # Machine-output mode: export silently, keep stdout pure JSON.
+            write_export(
+                obs.to_dict(), args.obs_out, args.obs_format,
+                run={"command": "schedule", "file": args.file,
+                     "machine": args.machine},
+            )
         return 0
     mii = result.mii_result
     print(
@@ -145,7 +221,10 @@ def _cmd_schedule(args, out) -> int:
 
         print(pipeline_diagram(lowered.graph, result.schedule), file=out)
     if args.verify:
-        report = check_equivalence(lowered, result.schedule, n=args.verify)
+        with obs.span("simulation", iterations=args.verify):
+            report = check_equivalence(
+                lowered, result.schedule, n=args.verify
+            )
         print(
             f"simulation vs sequential oracle ({args.verify} iterations): "
             f"{'OK' if report.ok else 'MISMATCH'}",
@@ -154,6 +233,16 @@ def _cmd_schedule(args, out) -> int:
         if not report.ok:
             print(report.describe(), file=out)
             return 1
+    if args.obs_out:
+        try:
+            _write_obs(
+                obs, args, out,
+                run={"command": "schedule", "file": args.file,
+                     "machine": args.machine},
+            )
+        except OSError as exc:
+            print(f"error: obs output path unusable: {exc}", file=sys.stderr)
+            return 2
     return 0
 
 
@@ -166,9 +255,20 @@ def _cmd_corpus(args, out) -> int:
     from repro.workloads import build_corpus
     from repro.workloads.kernels import KERNELS
 
+    from repro.obs.context import NULL_OBS
+
+    try:
+        obs = _obs_context(args)
+    except _ObsConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    obs = obs if obs is not None else NULL_OBS
     machine = MACHINES[args.machine]()
     n_synthetic = max(0, args.loops - len(KERNELS))
-    corpus = build_corpus(machine, n_synthetic=n_synthetic, seed=args.seed)
+    with obs.span("frontend", loops=args.loops, seed=args.seed):
+        corpus = build_corpus(
+            machine, n_synthetic=n_synthetic, seed=args.seed
+        )
     try:
         engine = EvaluationEngine(
             machine,
@@ -177,6 +277,7 @@ def _cmd_corpus(args, out) -> int:
             cache_dir=args.cache_dir,
             use_cache=not args.no_cache,
             verify_iterations=args.verify,
+            obs=obs,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -186,6 +287,17 @@ def _cmd_corpus(args, out) -> int:
     except OSError as exc:
         print(f"error: cache directory unusable: {exc}", file=sys.stderr)
         return 2
+    if args.obs_out:
+        try:
+            _write_obs(
+                obs, args, out,
+                run={"command": "corpus", "machine": args.machine,
+                     "loops": args.loops, "jobs": engine.jobs,
+                     "seed": args.seed, "verify": args.verify},
+            )
+        except OSError as exc:
+            print(f"error: obs output path unusable: {exc}", file=sys.stderr)
+            return 2
     if args.timings:
         path = result.write_timing_json(args.timings)
         print(render_phase_summary(result.phase_seconds()), file=out)
@@ -283,6 +395,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", action="store_true",
         help="print the scheduler's decision trace",
     )
+    _obs_arguments(schedule)
     schedule.set_defaults(handler=_cmd_schedule)
 
     corpus = commands.add_parser(
@@ -315,6 +428,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulate N iterations of every front-end loop against the "
              "sequential oracle (mismatches become failure records)",
     )
+    _obs_arguments(corpus)
     corpus.set_defaults(handler=_cmd_corpus)
     return parser
 

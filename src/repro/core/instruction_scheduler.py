@@ -17,7 +17,10 @@ iterative framework so the two can be compared (see
   is *forced* using Figure 4's forward-progress rule, displacing whatever
   conflicts (Section 3.4) — this is what keeps the variant iterative
   rather than a one-pass greedy;
-* the same budget discipline applies: each placement costs one step.
+* the same budget discipline applies: each placement costs one step;
+* a :class:`repro.core.trace.ScheduleTrace` receives the same pick /
+  place / force / displace events as the operation-driven style, so
+  traces (and the obs layer built on them) are comparable across styles.
 """
 
 from __future__ import annotations
@@ -65,6 +68,8 @@ class InstructionDrivenScheduler(IterativeScheduler):
                 slot_alt = self._fits_at(op, time)
                 if slot_alt is None:
                     continue
+                if self.trace is not None:
+                    self.trace.pick(op, time)
                 self._schedule(op, time, slot_alt)
                 steps += 1
                 placed_someone = True
@@ -80,6 +85,8 @@ class InstructionDrivenScheduler(IterativeScheduler):
             if overdue:
                 op = min(overdue, key=lambda o: (-self.heights[o], o))
                 estart = self._calculate_early_start(op)
+                if self.trace is not None:
+                    self.trace.pick(op, estart)
                 slot, alternative = self._forced_slot(op, estart)
                 self._schedule(op, slot, alternative)
                 steps += 1

@@ -202,6 +202,7 @@ def compute_mii(
     machine,
     counters: Optional[Counters] = None,
     exact: bool = True,
+    obs=None,
 ) -> MIIResult:
     """Compute MII = max(ResMII, RecMII) for a sealed graph.
 
@@ -210,17 +211,31 @@ def compute_mii(
     ``exact=False`` the production short-cut is used: the search is seeded
     with ResMII, so the reported ``rec_mii`` is only a lower bound when it
     does not exceed ResMII — but ``mii`` is identical either way.
+
+    ``obs`` (an optional :class:`repro.obs.ObsContext`) receives one
+    ``mii`` span with ``mii.scc``/``mii.res``/``mii.rec`` children, the
+    resulting bounds attached as attributes.
     """
+    from repro.obs.context import NULL_OBS
+
+    obs = obs if obs is not None else NULL_OBS
     if not graph.sealed:
         raise GraphError(f"graph {graph.name!r} must be sealed before MII")
-    components = strongly_connected_components(graph, counters)
-    res = res_mii(graph, machine, counters)
-    if exact:
-        rec = rec_mii(graph, 1, counters, components)
-        mii = max(res, rec)
-    else:
-        mii = rec_mii(graph, res, counters, components)
-        rec = mii
+    with obs.span("mii", graph=graph.name, exact=exact) as mii_span:
+        with obs.span("mii.scc"):
+            components = strongly_connected_components(graph, counters)
+        with obs.span("mii.res") as res_span:
+            res = res_mii(graph, machine, counters)
+            res_span.set("res_mii", res)
+        with obs.span("mii.rec") as rec_span:
+            if exact:
+                rec = rec_mii(graph, 1, counters, components)
+                mii = max(res, rec)
+            else:
+                mii = rec_mii(graph, res, counters, components)
+                rec = mii
+            rec_span.set("rec_mii", rec)
+        mii_span.set("mii", mii)
     return MIIResult(
         res_mii=res,
         rec_mii=rec,

@@ -73,16 +73,27 @@ def mindist_feasible(dist: np.ndarray) -> bool:
 
 
 def schedule_length_lower_bound(
-    graph: DependenceGraph, ii: int, counters: Optional[Counters] = None
+    graph: DependenceGraph,
+    ii: int,
+    counters: Optional[Counters] = None,
+    obs=None,
 ) -> int:
     """MinDist[START, STOP]: the dependence-imposed lower bound on SL.
 
     The paper's lower bound on the modulo schedule length for a given II is
     the larger of this quantity and the acyclic list schedule length
     (Section 4.2); the baseline package provides the latter.
+
+    ``obs`` (an optional :class:`repro.obs.ObsContext`) receives one
+    ``mindist.bound`` span per call — this is a whole-graph Floyd-Warshall
+    pass, the N³ hot spot the Table-4 complexity study tracks.
     """
-    dist, index_map = compute_mindist(graph, ii, counters=counters)
-    value = dist[index_map[graph.START], index_map[graph.stop]]
-    if value == NO_PATH:
-        return 0
-    return int(value)
+    from repro.obs.context import NULL_OBS
+
+    obs = obs if obs is not None else NULL_OBS
+    with obs.span("mindist.bound", ii=ii, n_ops=graph.n_ops) as span:
+        dist, index_map = compute_mindist(graph, ii, counters=counters)
+        value = dist[index_map[graph.START], index_map[graph.stop]]
+        bound = 0 if value == NO_PATH else int(value)
+        span.set("bound", bound)
+    return bound

@@ -305,6 +305,8 @@ class IterativeScheduler:
                 ):
                     self._unschedule(victim, culprit=op)
                 alternative = alternatives[0]
+        if forced:
+            self.counters.ops_forced += 1
         if self.trace is not None:
             if forced:
                 self.trace.force(op, slot)
@@ -388,6 +390,7 @@ def modulo_schedule(
     priority: str = "heightr",
     style: str = "operation",
     trace=None,
+    obs=None,
 ) -> ModuloScheduleResult:
     """ModuloSchedule (Figure 2): find a legal modulo schedule.
 
@@ -422,6 +425,13 @@ def modulo_schedule(
     trace:
         Optional :class:`repro.core.trace.ScheduleTrace` receiving every
         pick / place / force / displace decision.
+    obs:
+        Optional :class:`repro.obs.ObsContext`.  Each IterativeSchedule
+        attempt becomes a ``schedule.attempt`` span carrying the
+        candidate II, the budget burn-down (steps used / remaining) and
+        the displacement/force counts of that attempt; deterministic
+        outcome metrics (attempts, delta II, per-attempt steps) land in
+        the metrics registry.
 
     Raises
     ------
@@ -443,36 +453,66 @@ def modulo_schedule(
             f"unknown scheduling style {style!r}; "
             "choose 'operation' or 'instruction'"
         )
+    from repro.obs.context import NULL_OBS
+
+    obs = obs if obs is not None else NULL_OBS
     counters = counters if counters is not None else Counters()
     if mii_result is None:
-        mii_result = compute_mii(graph, machine, counters, exact=exact_mii)
+        mii_result = compute_mii(
+            graph, machine, counters, exact=exact_mii, obs=obs
+        )
     if max_ii is None:
         max_ii = default_max_ii(graph, mii_result.mii)
     budget = int(budget_ratio * graph.n_ops)
     attempts = 0
     steps_total = 0
     ii = mii_result.mii
-    while ii <= max_ii:
-        attempts += 1
-        counters.ii_attempts += 1
-        if trace is not None:
-            trace.attempt(ii)
-        attempt = scheduler_class(
-            graph, machine, ii, counters, priority=priority, trace=trace
-        ).run(budget)
-        steps_total += attempt.steps
-        if attempt.success:
-            schedule = Schedule(graph, ii, attempt.times, attempt.alternatives)
-            return ModuloScheduleResult(
-                schedule=schedule,
-                mii_result=mii_result,
-                budget_ratio=budget_ratio,
-                attempts=attempts,
-                steps_total=steps_total,
-                steps_last=attempt.steps,
-                counters=counters,
+    with obs.span(
+        "schedule", graph=graph.name, style=style, mii=mii_result.mii
+    ) as schedule_span:
+        while ii <= max_ii:
+            attempts += 1
+            counters.ii_attempts += 1
+            if trace is not None:
+                trace.attempt(ii)
+            displaced_before = counters.ops_unscheduled
+            forced_before = counters.ops_forced
+            with obs.span("schedule.attempt", ii=ii) as attempt_span:
+                attempt = scheduler_class(
+                    graph, machine, ii, counters, priority=priority,
+                    trace=trace,
+                ).run(budget)
+            attempt_span.set("success", attempt.success)
+            attempt_span.set("steps", attempt.steps)
+            attempt_span.set("budget", budget)
+            attempt_span.set("budget_left", budget - attempt.steps)
+            attempt_span.set(
+                "displaced", counters.ops_unscheduled - displaced_before
             )
-        ii += 1
+            attempt_span.set("forced", counters.ops_forced - forced_before)
+            obs.histogram("sched.attempt.steps").observe(attempt.steps)
+            steps_total += attempt.steps
+            if attempt.success:
+                schedule = Schedule(
+                    graph, ii, attempt.times, attempt.alternatives
+                )
+                schedule_span.set("ii", ii)
+                schedule_span.set("attempts", attempts)
+                obs.counter("sched.loops").inc()
+                obs.histogram("sched.attempts").observe(attempts)
+                obs.histogram("sched.ii").observe(ii)
+                obs.histogram("sched.delta_ii").observe(ii - mii_result.mii)
+                return ModuloScheduleResult(
+                    schedule=schedule,
+                    mii_result=mii_result,
+                    budget_ratio=budget_ratio,
+                    attempts=attempts,
+                    steps_total=steps_total,
+                    steps_last=attempt.steps,
+                    counters=counters,
+                )
+            ii += 1
+    obs.counter("sched.failures").inc()
     raise SchedulingFailure(
         f"no modulo schedule for {graph.name!r} with II in "
         f"[{mii_result.mii}, {max_ii}] at budget_ratio={budget_ratio}"

@@ -11,6 +11,7 @@ the same quantities:
 * ``estart_preds`` — predecessor edges examined while computing Estart,
 * ``findtimeslot_iters`` — time slots examined by FindTimeSlot,
 * ``ops_scheduled`` / ``ops_unscheduled`` — Schedule/Unschedule calls,
+* ``ops_forced`` — placements that used Figure 4's forced-slot rule,
 * ``resmii_steps`` — alternative/resource inspections in the ResMII pass,
 * ``scc_steps`` — vertex+edge visits during SCC identification.
 """
@@ -31,6 +32,7 @@ class Counters:
     findtimeslot_iters: int = 0
     ops_scheduled: int = 0
     ops_unscheduled: int = 0
+    ops_forced: int = 0
     resmii_steps: int = 0
     scc_steps: int = 0
     ii_attempts: int = 0

@@ -33,11 +33,17 @@ class PhaseTimer:
     belongs elsewhere (e.g. MinDist bounds recomputed after scheduling).
     """
 
+    #: Phase name reserved for the computed sum in :meth:`snapshot`.  A
+    #: phase literally named ``"total"`` would silently be overwritten by
+    #: the computed total, so the name is rejected up front.
+    RESERVED = "total"
+
     seconds: Dict[str, float] = field(default_factory=dict)
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
         """Time a ``with`` block and charge it to ``name`` (accumulating)."""
+        self._check_name(name)
         started = time.perf_counter()
         try:
             yield
@@ -47,7 +53,15 @@ class PhaseTimer:
 
     def charge(self, name: str, elapsed: float) -> None:
         """Charge ``elapsed`` seconds to ``name`` directly."""
+        self._check_name(name)
         self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
+
+    def _check_name(self, name: str) -> None:
+        if name == self.RESERVED:
+            raise ValueError(
+                f"phase name {self.RESERVED!r} is reserved for the "
+                "computed total in snapshot()"
+            )
 
     @property
     def total(self) -> float:

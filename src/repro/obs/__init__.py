@@ -1,0 +1,57 @@
+"""Unified observability: spans, metrics, and trace exporters.
+
+See ``docs/OBSERVABILITY.md`` for the span model, metric names, the
+``repro.obs.v1`` record schema, and the Perfetto how-to.
+
+* :class:`repro.obs.context.ObsContext` — one run's collector: nested
+  ``span()``s plus a counter/gauge/histogram registry, with views over
+  the older :class:`~repro.core.trace.PhaseTimer` and
+  :class:`~repro.core.stats.Counters` fragments;
+* :data:`repro.obs.context.NULL_OBS` — the no-op context every
+  instrumented call site defaults to (``obs = obs or NULL_OBS``);
+* :mod:`repro.obs.exporters` — JSONL and Chrome-trace writers;
+* :mod:`repro.obs.schema` — the ``repro.obs.v1`` record schema and its
+  validator (also run by CI via ``python -m repro.obs.check``).
+"""
+
+from repro.obs.context import (
+    Histogram,
+    MetricsRegistry,
+    NULL_OBS,
+    NullObsContext,
+    ObsContext,
+    Span,
+)
+from repro.obs.exporters import (
+    FORMATS,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_export,
+    write_jsonl,
+)
+from repro.obs.schema import (
+    FORMAT,
+    records_from_snapshot,
+    validate_jsonl,
+    validate_record,
+    validate_records,
+)
+
+__all__ = [
+    "FORMAT",
+    "FORMATS",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_OBS",
+    "NullObsContext",
+    "ObsContext",
+    "Span",
+    "records_from_snapshot",
+    "to_chrome_trace",
+    "validate_jsonl",
+    "validate_record",
+    "validate_records",
+    "write_chrome_trace",
+    "write_export",
+    "write_jsonl",
+]

@@ -1,0 +1,58 @@
+"""Schema checker for ``repro.obs.v1`` JSONL files.
+
+Usage::
+
+    python -m repro.obs.check obs.jsonl [more.jsonl ...]
+
+Exit code 0 when every file validates, 1 otherwise (errors on stderr).
+The CI smoke step runs this against a traced corpus run; the test suite
+calls :func:`check_paths` directly, so both gatekeepers share one
+validator (:func:`repro.obs.schema.validate_jsonl`).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.obs.schema import validate_jsonl
+
+
+def check_paths(paths: Sequence, err=None) -> int:
+    """Validate each JSONL file; returns the number of invalid files."""
+    err = err if err is not None else sys.stderr
+    bad = 0
+    for path in paths:
+        path = Path(path)
+        try:
+            text = path.read_text()
+        except OSError as exc:
+            print(f"{path}: unreadable: {exc}", file=err)
+            bad += 1
+            continue
+        errors = validate_jsonl(text)
+        if errors:
+            bad += 1
+            for problem in errors[:20]:
+                print(f"{path}: {problem}", file=err)
+            if len(errors) > 20:
+                print(f"{path}: ... {len(errors) - 20} more errors", file=err)
+        else:
+            lines = sum(1 for line in text.splitlines() if line.strip())
+            print(f"{path}: OK ({lines} records)", file=err)
+    return bad
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv:
+        print("usage: python -m repro.obs.check FILE [FILE ...]",
+              file=sys.stderr)
+        return 2
+    return 1 if check_paths(argv) else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main()
+    sys.exit(main())

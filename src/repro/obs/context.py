@@ -1,0 +1,413 @@
+"""The observability context: structured spans plus a metrics registry.
+
+Rau's evaluation is *empirical* — Table 4 counts algorithm steps, Table 3
+and Figure 6 measure the scheduler at work — so the reproduction needs
+first-class telemetry.  An :class:`ObsContext` is one run's collector:
+
+* **spans** — nested, timed regions (``with obs.span("scheduling")``)
+  that form a tree: every span records its parent, a wall-clock start,
+  a monotonic duration, and free-form attributes (the candidate II, the
+  budget burn-down of an attempt, ...);
+* **metrics** — a registry of named counters, gauges and histograms.
+  Only *deterministic* quantities go in here (algorithm step counts,
+  IIs, attempt sizes), never wall-clock time, so two runs of the same
+  corpus produce byte-identical metric snapshots regardless of ``jobs``;
+* **views over the older fragments** — :meth:`ObsContext.timer` returns
+  a :class:`repro.core.trace.PhaseTimer` whose phases additionally open
+  spans, and :meth:`ObsContext.absorb_counters` folds a
+  :class:`repro.core.stats.Counters` snapshot into the registry, so the
+  pre-existing mechanisms feed the unified record instead of competing
+  with it.
+
+Process safety: a worker builds its own ``ObsContext``, serializes it
+with :meth:`ObsContext.to_dict` (plain JSON types only), and the parent
+merges it with :meth:`ObsContext.absorb`, which re-assigns span ids and
+re-parents the worker's root spans — exactly the JSON round-trip the
+corpus engine already uses for evaluation payloads.
+
+When observability is off, every instrumented call site receives
+:data:`NULL_OBS`, whose ``span``/``counter``/``histogram`` return
+preallocated do-nothing singletons — no allocation, no branching in the
+caller, unmeasurable overhead (asserted by ``tests/obs/test_context.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.core.stats import Counters
+from repro.core.trace import PhaseTimer
+
+#: Attribute/metric values must be JSON-representable scalars.
+_SCALARS = (str, int, float, bool, type(None))
+
+
+@dataclass
+class Span:
+    """One finished (or in-flight) timed region of the pipeline."""
+
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    start: float  # wall-clock (epoch seconds): comparable across processes
+    dur: float = 0.0  # monotonic-clock duration, seconds
+    pid: int = 0
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def set(self, key: str, value) -> None:
+        """Attach an attribute (must be a JSON scalar)."""
+        if not isinstance(value, _SCALARS):
+            raise TypeError(
+                f"span attribute {key!r} must be a JSON scalar, "
+                f"got {type(value).__name__}"
+            )
+        self.attrs[key] = value
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible form (the shape the exporters consume)."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "dur": self.dur,
+            "pid": self.pid,
+            "attrs": dict(self.attrs),
+        }
+
+
+@dataclass
+class Histogram:
+    """Mergeable summary of an observed distribution (no raw samples).
+
+    Storing only ``count/total/min/max`` keeps histograms order-independent
+    under merge, which is what makes the metric snapshot byte-identical
+    for any ``jobs`` fan-out.
+    """
+
+    count: int = 0
+    total: float = 0
+    min: Optional[float] = None
+    max: Optional[float] = None
+
+    def observe(self, value) -> None:
+        """Fold one sample into the summary."""
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    def merge(self, other: Dict[str, Any]) -> None:
+        """Fold another histogram's dict form into this one."""
+        if not other.get("count"):
+            return
+        self.count += other["count"]
+        self.total += other["total"]
+        self.min = (
+            other["min"] if self.min is None else min(self.min, other["min"])
+        )
+        self.max = (
+            other["max"] if self.max is None else max(self.max, other["max"])
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible form."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class _CounterHandle:
+    """Write handle for one named counter."""
+
+    __slots__ = ("_counters", "_name")
+
+    def __init__(self, counters: Dict[str, float], name: str) -> None:
+        self._counters = counters
+        self._name = name
+
+    def inc(self, amount=1) -> None:
+        """Add ``amount`` (default 1) to the counter."""
+        self._counters[self._name] = self._counters.get(self._name, 0) + amount
+
+
+class _GaugeHandle:
+    """Write handle for one named gauge (last write wins)."""
+
+    __slots__ = ("_gauges", "_name")
+
+    def __init__(self, gauges: Dict[str, float], name: str) -> None:
+        self._gauges = gauges
+        self._name = name
+
+    def set(self, value) -> None:
+        """Record the gauge's current value."""
+        self._gauges[self._name] = value
+
+
+class MetricsRegistry:
+    """Named counters, gauges and histograms for one run."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> _CounterHandle:
+        """A handle that increments ``name``."""
+        return _CounterHandle(self.counters, name)
+
+    def gauge(self, name: str) -> _GaugeHandle:
+        """A handle that sets ``name``."""
+        return _GaugeHandle(self.gauges, name)
+
+    def histogram(self, name: str) -> Histogram:
+        """The (created-on-demand) histogram called ``name``."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        return hist
+
+    def merge(self, snapshot: Dict[str, Any]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one."""
+        for name, value in snapshot.get("counters", {}).items():
+            self.counters[name] = self.counters.get(name, 0) + value
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauges[name] = value
+        for name, data in snapshot.get("histograms", {}).items():
+            self.histogram(name).merge(data)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Deterministic (sorted, JSON-compatible) copy of every metric."""
+        return {
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "gauges": {k: self.gauges[k] for k in sorted(self.gauges)},
+            "histograms": {
+                k: self.histograms[k].to_dict()
+                for k in sorted(self.histograms)
+            },
+        }
+
+
+class _SpanPhaseTimer(PhaseTimer):
+    """A :class:`PhaseTimer` view over an :class:`ObsContext`.
+
+    Each ``phase(name)`` both charges seconds to the timer (preserving the
+    engine's timing dicts exactly) and opens a span named ``name`` — one
+    mechanism observed two ways, not two mechanisms.
+    """
+
+    def __init__(self, ctx: "ObsContext") -> None:
+        super().__init__()
+        self._ctx = ctx
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time a ``with`` block as both a phase charge and a span."""
+        with self._ctx.span(name):
+            with super().phase(name):
+                yield
+
+
+class ObsContext:
+    """Collector for one observed run (spans + metrics).
+
+    The context is *not* thread-safe; the pipeline uses one per process
+    (the corpus engine gives every worker its own and merges snapshots).
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.spans: List[Span] = []
+        self.metrics = MetricsRegistry()
+        self._stack: List[Span] = []
+        self._next_id = 1
+        self._pid = os.getpid()
+
+    # -- spans -----------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **attrs) -> Iterator[Span]:
+        """Open a nested span; attributes may be passed now or via ``set``."""
+        span = Span(
+            name=name,
+            span_id=self._next_id,
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            start=time.time(),
+            pid=self._pid,
+            attrs=dict(attrs),
+        )
+        self._next_id += 1
+        self._stack.append(span)
+        started = time.perf_counter()
+        try:
+            yield span
+        finally:
+            span.dur = time.perf_counter() - started
+            self._stack.pop()
+            self.spans.append(span)
+
+    # -- metrics ---------------------------------------------------------
+
+    def counter(self, name: str) -> _CounterHandle:
+        """A write handle for the counter called ``name``."""
+        return self.metrics.counter(name)
+
+    def gauge(self, name: str) -> _GaugeHandle:
+        """A write handle for the gauge called ``name``."""
+        return self.metrics.gauge(name)
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram called ``name``."""
+        return self.metrics.histogram(name)
+
+    # -- views over the older instrumentation fragments ------------------
+
+    def timer(self) -> PhaseTimer:
+        """A PhaseTimer whose phases also open spans on this context."""
+        return _SpanPhaseTimer(self)
+
+    def absorb_counters(self, counters: Counters, prefix: str = "algo.") -> None:
+        """Fold a :class:`Counters` snapshot into the metric counters."""
+        for name, value in counters.snapshot().items():
+            self.counter(prefix + name).inc(value)
+
+    # -- process-portable snapshots --------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible snapshot of every span and metric."""
+        return {
+            "spans": [span.to_dict() for span in self.spans],
+            "metrics": self.metrics.snapshot(),
+        }
+
+    def absorb(
+        self,
+        snapshot: Optional[Dict[str, Any]],
+        parent: Optional[Span] = None,
+        **extra_attrs,
+    ) -> None:
+        """Merge another context's :meth:`to_dict` into this one.
+
+        Span ids are re-assigned (worker contexts all start at id 1) and
+        the snapshot's *root* spans are re-parented under ``parent`` (or
+        the currently open span, if any).  ``extra_attrs`` are attached
+        to the re-parented roots, which is how the engine labels a
+        worker's spans with the loop they belong to.
+        """
+        if not snapshot:
+            return
+        if parent is None and self._stack:
+            parent = self._stack[-1]
+        id_map: Dict[int, int] = {}
+        for data in snapshot.get("spans", ()):
+            id_map[data["span_id"]] = self._next_id
+            self._next_id += 1
+        for data in snapshot.get("spans", ()):
+            old_parent = data.get("parent_id")
+            attrs = dict(data.get("attrs", {}))
+            if old_parent is None:
+                parent_id = parent.span_id if parent is not None else None
+                attrs.update(extra_attrs)
+            else:
+                parent_id = id_map[old_parent]
+            self.spans.append(
+                Span(
+                    name=data["name"],
+                    span_id=id_map[data["span_id"]],
+                    parent_id=parent_id,
+                    start=data["start"],
+                    dur=data["dur"],
+                    pid=data.get("pid", 0),
+                    attrs=attrs,
+                )
+            )
+        self.metrics.merge(snapshot.get("metrics", {}))
+
+
+# ----------------------------------------------------------------------
+# The disabled context: preallocated no-ops all the way down.
+
+
+class _NullSpan:
+    """Inert span: accepts attributes, records nothing."""
+
+    __slots__ = ()
+
+    def set(self, key: str, value) -> None:
+        """Discard the attribute."""
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+class _NullMetric:
+    """Inert counter/gauge/histogram handle."""
+
+    __slots__ = ()
+
+    def inc(self, amount=1) -> None:
+        """Discard the increment."""
+
+    def set(self, value) -> None:
+        """Discard the value."""
+
+    def observe(self, value) -> None:
+        """Discard the sample."""
+
+
+_NULL_SPAN = _NullSpan()
+_NULL_METRIC = _NullMetric()
+
+
+class NullObsContext:
+    """Do-nothing stand-in used whenever observability is disabled.
+
+    Every method returns a preallocated singleton, so instrumented code
+    pays one attribute lookup and one call — nothing else.  The pipeline
+    treats ``obs or NULL_OBS`` as the universal entry idiom.
+    """
+
+    enabled = False
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        """A reusable inert context manager."""
+        return _NULL_SPAN
+
+    def counter(self, name: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def gauge(self, name: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def histogram(self, name: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def timer(self) -> PhaseTimer:
+        """A plain PhaseTimer (timing stays on even when tracing is off)."""
+        return PhaseTimer()
+
+    def absorb_counters(self, counters: Counters, prefix: str = "algo.") -> None:
+        """Discard the counters."""
+
+    def absorb(self, snapshot, parent=None, **extra_attrs) -> None:
+        """Discard the snapshot."""
+
+    def to_dict(self) -> Dict[str, Any]:
+        """An empty snapshot."""
+        return {"spans": [], "metrics": MetricsRegistry().snapshot()}
+
+
+#: The shared disabled context.
+NULL_OBS = NullObsContext()

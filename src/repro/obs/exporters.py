@@ -1,0 +1,97 @@
+"""Exporters: JSONL (``repro.obs.v1``) and Chrome trace-event format.
+
+Both exporters consume the same ``ObsContext.to_dict()`` snapshot.  The
+JSONL form is the archival/diffable one (schema in
+:mod:`repro.obs.schema`); the Chrome form loads directly into Perfetto
+(https://ui.perfetto.dev) or ``chrome://tracing`` for a visual timeline
+of the whole corpus run, workers included.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.obs.schema import records_from_snapshot
+
+#: The ``--obs-format`` spellings the CLI accepts.
+FORMATS = ("jsonl", "chrome")
+
+
+def write_jsonl(snapshot: Dict[str, Any], path, run=None) -> Path:
+    """Write a snapshot as ``repro.obs.v1`` JSON Lines; returns the path."""
+    path = Path(path)
+    records = records_from_snapshot(snapshot, run=run)
+    path.write_text(
+        "".join(json.dumps(r, sort_keys=True) + "\n" for r in records)
+    )
+    return path
+
+
+def to_chrome_trace(
+    snapshot: Dict[str, Any], run: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    """Convert a snapshot to a Chrome trace-event document.
+
+    Spans become complete (``"ph": "X"``) events with microsecond
+    timestamps; wall-clock starts are used, so spans from different
+    worker processes line up on one timeline.  Metrics ride along in
+    ``otherData`` (the trace-event format has no timeless metric notion).
+    """
+    events = []
+    pids = set()
+    for span in snapshot.get("spans", ()):
+        pids.add(span["pid"])
+        args = {k: v for k, v in span.get("attrs", {}).items()}
+        args["span_id"] = span["span_id"]
+        if span.get("parent_id") is not None:
+            args["parent_id"] = span["parent_id"]
+        events.append(
+            {
+                "name": span["name"],
+                "ph": "X",
+                "ts": span["start"] * 1e6,
+                "dur": span["dur"] * 1e6,
+                "pid": span["pid"],
+                "tid": span["pid"],
+                "cat": "repro",
+                "args": args,
+            }
+        )
+    for pid in sorted(pids):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": pid,
+                "args": {"name": f"repro worker {pid}"},
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "run": dict(run or {}),
+            "metrics": snapshot.get("metrics", {}),
+        },
+    }
+
+
+def write_chrome_trace(snapshot: Dict[str, Any], path, run=None) -> Path:
+    """Write a snapshot as a Chrome/Perfetto trace file; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(to_chrome_trace(snapshot, run=run)))
+    return path
+
+
+def write_export(snapshot: Dict[str, Any], path, fmt: str, run=None) -> Path:
+    """Dispatch on ``fmt`` (one of :data:`FORMATS`)."""
+    if fmt == "jsonl":
+        return write_jsonl(snapshot, path, run=run)
+    if fmt == "chrome":
+        return write_chrome_trace(snapshot, path, run=run)
+    raise ValueError(
+        f"unknown obs format {fmt!r}; choose from {', '.join(FORMATS)}"
+    )

@@ -1,0 +1,129 @@
+"""Telemetry determinism across the engine's fan-out.
+
+Spans carry the wall-clock; everything in the metrics registry and the
+run-level counter aggregate is deterministic, so those snapshots must be
+byte-identical whatever ``jobs`` is — and must survive a warm cache,
+where no loop is re-scheduled at all.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import evaluate_corpus
+from repro.analysis.engine import EvaluationEngine
+from repro.core.stats import Counters
+from repro.machine import cydra5
+from repro.obs import ObsContext
+from repro.workloads import build_corpus
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return cydra5()
+
+
+@pytest.fixture(scope="module")
+def corpus(machine):
+    return build_corpus(machine, n_synthetic=12, seed=9)
+
+
+def _traced_run(machine, corpus, jobs, cache_dir=None, use_cache=False):
+    obs = ObsContext()
+    engine = EvaluationEngine(
+        machine, jobs=jobs, obs=obs,
+        cache_dir=cache_dir, use_cache=use_cache or cache_dir is not None,
+    )
+    result = engine.evaluate(corpus)
+    return obs, result
+
+
+class TestMetricsByteIdentity:
+    @pytest.fixture(scope="class")
+    def serial(self, machine, corpus):
+        obs, result = _traced_run(machine, corpus, jobs=1)
+        return (
+            json.dumps(obs.metrics.snapshot(), sort_keys=True),
+            json.dumps(result.counters.snapshot(), sort_keys=True),
+        )
+
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_metric_snapshot_identical_across_jobs(
+        self, machine, corpus, serial, jobs
+    ):
+        """Acceptance: jobs=1 and jobs=N produce the same metric bytes."""
+        obs, result = _traced_run(machine, corpus, jobs=jobs)
+        assert json.dumps(obs.metrics.snapshot(), sort_keys=True) == serial[0]
+        assert (
+            json.dumps(result.counters.snapshot(), sort_keys=True) == serial[1]
+        )
+
+    def test_warm_cache_preserves_the_aggregate(
+        self, machine, corpus, serial, tmp_path
+    ):
+        """Complexity counters come back from the cache, not just from
+        freshly evaluated loops — a warm run reports the same totals."""
+        cache = tmp_path / "cache"
+        _, cold = _traced_run(machine, corpus, jobs=2, cache_dir=cache)
+        obs, warm = _traced_run(machine, corpus, jobs=2, cache_dir=cache)
+        assert warm.hits == len(corpus) and warm.misses == 0
+        assert (
+            json.dumps(warm.counters.snapshot(), sort_keys=True) == serial[1]
+        )
+        snap = obs.metrics.snapshot()
+        assert snap["counters"]["engine.cache.hits"] == len(corpus)
+        assert snap["counters"]["algo.ops_scheduled"] > 0
+
+    def test_metrics_hold_the_algorithm_counters(self, machine, corpus):
+        obs, result = _traced_run(machine, corpus, jobs=1)
+        counters = obs.metrics.snapshot()["counters"]
+        for name, value in result.counters.snapshot().items():
+            assert counters["algo." + name] == value
+        assert counters["engine.loops"] == len(corpus)
+        assert counters["engine.failures"] == 0
+
+
+class TestCountersSurviveTheRunner:
+    def test_evaluate_corpus_merges_into_caller_counters(
+        self, machine, corpus
+    ):
+        serial, parallel = Counters(), Counters()
+        evaluate_corpus(corpus, machine, jobs=1, counters=serial)
+        evaluate_corpus(corpus, machine, jobs=2, counters=parallel)
+        assert serial.snapshot() == parallel.snapshot()
+        assert serial.ops_scheduled > 0
+        assert serial.mindist_inner > 0
+
+    def test_timing_report_carries_the_aggregate(self, machine, corpus):
+        obs, result = _traced_run(machine, corpus, jobs=2)
+        report = result.timing_report()
+        assert report["counters"] == result.counters.snapshot()
+        assert report["counters"]["ops_scheduled"] > 0
+        assert report["metrics"] == obs.metrics.snapshot()
+
+    def test_untraced_report_has_no_metrics_block(self, machine, corpus):
+        result = EvaluationEngine(machine, jobs=1).evaluate(corpus)
+        report = result.timing_report()
+        assert report["metrics"] is None
+        assert report["counters"]["ops_scheduled"] > 0
+
+
+class TestSpanCoverage:
+    def test_fanout_spans_reparent_under_the_run_root(self, machine, corpus):
+        obs, _ = _traced_run(machine, corpus, jobs=2)
+        root = next(s for s in obs.spans if s.name == "corpus.evaluate")
+        loops = [s for s in obs.spans if s.name == "loop"]
+        assert len(loops) == len(corpus)
+        assert {s.parent_id for s in loops} == {root.span_id}
+        indices = sorted(s.attrs["index"] for s in loops)
+        assert indices == list(range(len(corpus)))
+
+    def test_snapshot_round_trips_the_engine_boundary(self, machine, corpus):
+        """Worker snapshots crossed a process boundary; the merged record
+        still schema-validates end to end."""
+        from repro.obs.schema import records_from_snapshot, validate_records
+
+        obs, _ = _traced_run(machine, corpus, jobs=2)
+        assert validate_records(records_from_snapshot(obs.to_dict())) == []

@@ -103,6 +103,91 @@ class TestForwardProgress:
         trace.force(5, 7)  # new attempt: same slot is fine
         assert trace.forward_progress_holds()
 
+    def test_holds_across_many_attempt_boundaries(self):
+        """The per-attempt history resets at *every* attempt event, not
+        just the first: the same (op, slot) force is legal in attempts
+        2 and 3 but a repeat within attempt 3 still violates."""
+        trace = ScheduleTrace()
+        for ii in (3, 4, 5):
+            trace.attempt(ii)
+            trace.place(1, 2, "alu")
+            trace.force(1, 4)
+        assert trace.forward_progress_holds()
+        trace.place(1, 4, "alu")
+        trace.force(1, 4)  # same attempt, same slot: violation
+        assert not trace.forward_progress_holds()
+
+    def test_violation_in_middle_attempt_detected(self):
+        trace = ScheduleTrace()
+        trace.attempt(3)
+        trace.place(2, 1, "alu")
+        trace.attempt(4)
+        trace.place(2, 1, "alu")
+        trace.force(2, 1)  # violation inside attempt 2
+        trace.attempt(5)
+        trace.place(2, 9, "alu")
+        assert not trace.forward_progress_holds()
+
+
+class TestRenderTruncation:
+    def _trace_with_events(self, n):
+        trace = ScheduleTrace()
+        for op in range(n):
+            trace.place(op, op, "alu")
+        return trace
+
+    def test_limit_counts_suppressed_events(self, alu):
+        trace = self._trace_with_events(10)
+        text = trace.render(limit=4)
+        assert len(text.splitlines()) == 5  # 4 events + the ellipsis line
+        assert "... 6 more events" in text
+
+    def test_no_ellipsis_at_exact_limit(self):
+        trace = self._trace_with_events(4)
+        text = trace.render(limit=4)
+        assert "more events" not in text
+        assert len(text.splitlines()) == 4
+
+    def test_limit_larger_than_trace(self):
+        trace = self._trace_with_events(2)
+        assert "more events" not in trace.render(limit=100)
+
+
+class TestTracedEventsNameRealOperations:
+    """Property: every place/force/displace in a traced corpus run names
+    a valid operation of the graph being scheduled (and displacement
+    culprits are valid ops too)."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_ops_are_valid_graph_indices(self, seed):
+        machine = cydra5()
+        graph = synthetic_graph(machine, seed=seed)
+        trace = ScheduleTrace()
+        modulo_schedule(graph, machine, budget_ratio=6.0, trace=trace)
+        for event in trace.events:
+            if event.kind == "attempt":
+                assert event.op == -1
+                continue
+            assert 0 <= event.op < graph.n_ops
+            graph.operation(event.op)  # must resolve
+            if event.kind == "displace":
+                culprit = int(event.detail.removeprefix("by op"))
+                assert 0 <= culprit < graph.n_ops
+
+    def test_instruction_style_events_are_valid_too(self):
+        machine = cydra5()
+        graph = synthetic_graph(machine, seed=3)
+        trace = ScheduleTrace()
+        modulo_schedule(
+            graph, machine, budget_ratio=6.0, style="instruction",
+            trace=trace,
+        )
+        kinds = {e.kind for e in trace.events}
+        assert "pick" in kinds and "place" in kinds
+        for event in trace.events:
+            if event.kind != "attempt":
+                assert 0 <= event.op < graph.n_ops
+
 
 class TestPhaseTimer:
     def test_phases_accumulate(self):
@@ -136,3 +221,24 @@ class TestPhaseTimer:
         timer.charge("simulation", 0.25)
         snapshot = timer.snapshot()
         assert snapshot == {"simulation": 0.5, "total": 0.5}
+
+    def test_total_phase_name_is_reserved(self):
+        """Regression: a phase literally named "total" used to be
+        silently overwritten by the computed sum in snapshot()."""
+        from repro.core.trace import PhaseTimer
+
+        timer = PhaseTimer()
+        with pytest.raises(ValueError, match="reserved"):
+            with timer.phase("total"):
+                pass
+        with pytest.raises(ValueError, match="reserved"):
+            timer.charge("total", 1.0)
+        assert timer.seconds == {}  # nothing was charged
+
+    def test_reserved_name_rejected_on_span_timer_view_too(self):
+        from repro.obs import ObsContext
+
+        timer = ObsContext().timer()
+        with pytest.raises(ValueError, match="reserved"):
+            with timer.phase("total"):
+                pass

@@ -1,0 +1,105 @@
+"""JSONL and Chrome-trace exporters over real pipeline snapshots."""
+
+import json
+
+import pytest
+
+from repro.core import modulo_schedule
+from repro.machine import cydra5
+from repro.obs import ObsContext
+from repro.obs.exporters import (
+    FORMATS,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_export,
+    write_jsonl,
+)
+from repro.obs.schema import FORMAT, validate_jsonl
+from repro.workloads import synthetic_graph
+
+
+@pytest.fixture(scope="module")
+def snapshot():
+    """A genuine traced scheduling run, not a synthetic fixture."""
+    machine = cydra5()
+    obs = ObsContext()
+    with obs.span("corpus.evaluate", loops=2):
+        for seed in (1, 2):
+            with obs.span("loop", loop=f"synthetic_{seed}"):
+                modulo_schedule(
+                    machine=machine,
+                    graph=synthetic_graph(machine, seed=seed),
+                    obs=obs,
+                )
+    return obs.to_dict()
+
+
+class TestJsonl:
+    def test_written_file_is_schema_valid(self, snapshot, tmp_path):
+        path = write_jsonl(snapshot, tmp_path / "obs.jsonl", run={"jobs": 1})
+        assert validate_jsonl(path.read_text()) == []
+
+    def test_lines_are_canonical_sorted_key_json(self, snapshot, tmp_path):
+        path = write_jsonl(snapshot, tmp_path / "obs.jsonl")
+        for line in path.read_text().splitlines():
+            record = json.loads(line)
+            assert line == json.dumps(record, sort_keys=True)
+
+    def test_first_line_is_the_meta_record(self, snapshot, tmp_path):
+        path = write_jsonl(snapshot, tmp_path / "obs.jsonl", run={"argv": "x"})
+        first = json.loads(path.read_text().splitlines()[0])
+        assert first["type"] == "meta" and first["format"] == FORMAT
+        assert first["run"] == {"argv": "x"}
+
+
+class TestChromeTrace:
+    def test_one_complete_event_per_span(self, snapshot):
+        trace = to_chrome_trace(snapshot)
+        complete = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert len(complete) == len(snapshot["spans"])
+
+    def test_timestamps_are_microseconds(self, snapshot):
+        trace = to_chrome_trace(snapshot)
+        span = snapshot["spans"][0]
+        event = next(
+            e for e in trace["traceEvents"]
+            if e["ph"] == "X" and e["args"]["span_id"] == span["span_id"]
+        )
+        assert event["ts"] == pytest.approx(span["start"] * 1e6)
+        assert event["dur"] == pytest.approx(span["dur"] * 1e6)
+
+    def test_parenthood_rides_in_args(self, snapshot):
+        trace = to_chrome_trace(snapshot)
+        children = [
+            e for e in trace["traceEvents"]
+            if e["ph"] == "X" and "parent_id" in e["args"]
+        ]
+        assert children  # the scheduling spans nest under loop spans
+
+    def test_process_name_metadata_per_pid(self, snapshot):
+        trace = to_chrome_trace(snapshot)
+        metadata = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        pids = {s["pid"] for s in snapshot["spans"]}
+        assert {e["pid"] for e in metadata} == pids
+        assert all(e["name"] == "process_name" for e in metadata)
+
+    def test_metrics_and_run_land_in_other_data(self, snapshot):
+        trace = to_chrome_trace(snapshot, run={"jobs": 4})
+        assert trace["otherData"]["run"] == {"jobs": 4}
+        assert trace["otherData"]["metrics"] == snapshot["metrics"]
+
+    def test_written_file_is_plain_json(self, snapshot, tmp_path):
+        path = write_chrome_trace(snapshot, tmp_path / "trace.json")
+        data = json.loads(path.read_text())
+        assert data["traceEvents"]
+
+
+class TestDispatch:
+    def test_every_advertised_format_writes(self, snapshot, tmp_path):
+        for fmt in FORMATS:
+            path = write_export(snapshot, tmp_path / f"out.{fmt}", fmt)
+            assert path.read_text()
+
+    def test_unknown_format_raises(self, snapshot, tmp_path):
+        with pytest.raises(ValueError, match="unknown obs format"):
+            write_export(snapshot, tmp_path / "out", "protobuf")

@@ -1,0 +1,166 @@
+"""The ``repro.obs.v1`` schema, its validator, and the CLI checker."""
+
+import json
+
+from repro.obs import ObsContext
+from repro.obs.check import check_paths, main
+from repro.obs.schema import (
+    FORMAT,
+    records_from_snapshot,
+    validate_jsonl,
+    validate_record,
+    validate_records,
+)
+
+
+def _snapshot():
+    obs = ObsContext()
+    with obs.span("corpus.evaluate", loops=2):
+        with obs.span("loop", loop="dot"):
+            pass
+    obs.counter("engine.loops").inc(2)
+    obs.gauge("engine.jobs").set(4)
+    obs.histogram("loop.ops").observe(12)
+    return obs.to_dict()
+
+
+class TestRecordsFromSnapshot:
+    def test_real_snapshot_validates(self):
+        records = records_from_snapshot(_snapshot(), run={"argv": "corpus"})
+        assert validate_records(records) == []
+
+    def test_meta_comes_first_with_the_run_payload(self):
+        records = records_from_snapshot(_snapshot(), run={"jobs": 4})
+        assert records[0] == {
+            "format": FORMAT, "type": "meta", "run": {"jobs": 4},
+        }
+        assert sum(1 for r in records if r["type"] == "meta") == 1
+
+    def test_every_metric_kind_is_emitted(self):
+        records = records_from_snapshot(_snapshot())
+        kinds = {r["kind"] for r in records if r["type"] == "metric"}
+        assert kinds == {"counter", "gauge", "histogram"}
+
+
+class TestValidateRecord:
+    def _span(self, **overrides):
+        record = {
+            "format": FORMAT, "type": "span", "name": "x", "span_id": 1,
+            "parent_id": None, "start": 1.0, "dur": 0.5, "pid": 1,
+            "attrs": {},
+        }
+        record.update(overrides)
+        return record
+
+    def test_good_span_has_no_errors(self):
+        assert validate_record(self._span()) == []
+
+    def test_wrong_format_marker(self):
+        errors = validate_record(self._span(format="repro.obs.v0"))
+        assert any("format" in e for e in errors)
+
+    def test_unknown_type(self):
+        errors = validate_record({"format": FORMAT, "type": "event"})
+        assert any("unknown record type" in e for e in errors)
+
+    def test_non_object_record(self):
+        assert validate_record([1, 2]) == ["record is list, not an object"]
+
+    def test_span_missing_field(self):
+        record = self._span()
+        del record["dur"]
+        assert any("dur" in e for e in validate_record(record))
+
+    def test_negative_duration_rejected(self):
+        errors = validate_record(self._span(dur=-0.1))
+        assert any("negative" in e for e in errors)
+
+    def test_string_parent_rejected(self):
+        errors = validate_record(self._span(parent_id="root"))
+        assert any("parent_id" in e for e in errors)
+
+    def test_unknown_metric_kind(self):
+        record = {
+            "format": FORMAT, "type": "metric", "kind": "meter",
+            "name": "x", "value": 1,
+        }
+        assert any("metric kind" in e for e in validate_record(record))
+
+    def test_boolean_metric_value_rejected(self):
+        record = {
+            "format": FORMAT, "type": "metric", "kind": "counter",
+            "name": "x", "value": True,
+        }
+        assert any("number" in e for e in validate_record(record))
+
+    def test_histogram_value_must_carry_the_summary_fields(self):
+        record = {
+            "format": FORMAT, "type": "metric", "kind": "histogram",
+            "name": "h", "value": {"count": 1},
+        }
+        assert any("count/total/min/max" in e for e in validate_record(record))
+
+
+class TestValidateRecords:
+    def test_empty_stream_is_invalid(self):
+        assert validate_records([]) == ["no records"]
+
+    def test_meta_must_come_first(self):
+        records = records_from_snapshot(_snapshot())
+        shuffled = records[1:] + records[:1]
+        assert any("meta" in e for e in validate_records(shuffled))
+
+    def test_duplicate_span_ids_detected(self):
+        records = records_from_snapshot(_snapshot())
+        spans = [r for r in records if r["type"] == "span"]
+        records.append(dict(spans[0]))
+        assert any("duplicate span_id" in e for e in validate_records(records))
+
+    def test_dangling_parent_detected(self):
+        records = records_from_snapshot(_snapshot())
+        for record in records:
+            if record["type"] == "span" and record["parent_id"] is not None:
+                record["parent_id"] = 999
+        assert any(
+            "names no span" in e for e in validate_records(records)
+        )
+
+    def test_jsonl_flags_undecodable_lines(self):
+        records = records_from_snapshot(_snapshot())
+        text = "\n".join(json.dumps(r) for r in records) + "\n{oops\n"
+        errors = validate_jsonl(text)
+        assert any("not JSON" in e for e in errors)
+
+
+class TestChecker:
+    """`python -m repro.obs.check` — also the CI smoke gate."""
+
+    def _write(self, tmp_path, name="obs.jsonl", text=None):
+        if text is None:
+            records = records_from_snapshot(_snapshot(), run={})
+            text = "".join(json.dumps(r) + "\n" for r in records)
+        path = tmp_path / name
+        path.write_text(text)
+        return path
+
+    def test_valid_file_passes(self, tmp_path, capsys):
+        path = self._write(tmp_path)
+        assert check_paths([path]) == 0
+        assert "OK (" in capsys.readouterr().err
+
+    def test_invalid_file_reports_errors(self, tmp_path, capsys):
+        path = self._write(tmp_path, text='{"format": "nope"}\n')
+        assert check_paths([path]) == 1
+        assert "format" in capsys.readouterr().err
+
+    def test_unreadable_file_counts_as_invalid(self, tmp_path, capsys):
+        assert check_paths([tmp_path / "missing.jsonl"]) == 1
+        assert "unreadable" in capsys.readouterr().err
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        good = self._write(tmp_path, "good.jsonl")
+        bad = self._write(tmp_path, "bad.jsonl", text="{}\n")
+        assert main([str(good)]) == 0
+        assert main([str(good), str(bad)]) == 1
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().err

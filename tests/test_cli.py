@@ -121,6 +121,88 @@ class TestCorpus:
         assert "0 failures" in text
 
 
+class TestObservability:
+    def test_traced_corpus_run_covers_every_phase(self, tmp_path):
+        """Acceptance: one traced run emits schema-valid repro.obs.v1
+        records whose spans cover all five pipeline phases."""
+        from repro.obs.check import main as check_main
+        from repro.obs.schema import validate_jsonl
+
+        path = tmp_path / "obs.jsonl"
+        code, text = _run(
+            ["corpus", "--loops", "66", "--jobs", "2", "--verify", "4",
+             "--obs-out", str(path)]
+        )
+        assert code == 0
+        assert "observability summary" in text
+        assert validate_jsonl(path.read_text()) == []
+        assert check_main([str(path)]) == 0  # the CI gate, same validator
+        spans = {
+            json.loads(line)["name"]
+            for line in path.read_text().splitlines()
+            if json.loads(line)["type"] == "span"
+        }
+        for phase in ("frontend", "mindist", "scheduling", "codegen",
+                      "simulation"):
+            assert phase in spans, f"{phase} missing from {sorted(spans)}"
+        assert {"corpus.evaluate", "corpus.fanout", "loop", "mii",
+                "schedule.attempt"} <= spans
+
+    def test_chrome_format_loads_as_trace_events(self, tmp_path):
+        path = tmp_path / "trace.json"
+        code, _ = _run(
+            ["corpus", "--loops", "66", "--obs-out", str(path),
+             "--obs-format", "chrome"]
+        )
+        assert code == 0
+        data = json.load(open(path))
+        assert data["traceEvents"]
+        assert data["otherData"]["metrics"]["counters"]
+
+    def test_schedule_command_traces_too(self, dot_file, tmp_path):
+        from repro.obs.schema import validate_jsonl
+
+        path = tmp_path / "sched.jsonl"
+        code, text = _run(["schedule", dot_file, "--verify", "8",
+                           "--obs-out", str(path)])
+        assert code == 0
+        assert "obs export" in text
+        assert validate_jsonl(path.read_text()) == []
+        spans = {
+            json.loads(line)["name"]
+            for line in path.read_text().splitlines()
+            if json.loads(line)["type"] == "span"
+        }
+        assert {"frontend", "mii", "schedule", "simulation"} <= spans
+
+    def test_json_stdout_stays_pure_with_obs_out(self, dot_file, tmp_path):
+        path = tmp_path / "sched.jsonl"
+        code, text = _run(
+            ["schedule", dot_file, "--json", "--obs-out", str(path)]
+        )
+        assert code == 0
+        assert json.loads(text)["format"] == "repro.schedule.v1"
+        assert path.exists()
+
+    def test_unknown_format_rejected_cleanly(self, dot_file, tmp_path, capsys):
+        code, _ = _run(
+            ["schedule", dot_file, "--obs-out", str(tmp_path / "o"),
+             "--obs-format", "protobuf"]
+        )
+        assert code == 2
+        assert "unknown obs format" in capsys.readouterr().err
+
+    def test_unwritable_obs_out_rejected_cleanly(self, tmp_path, capsys):
+        not_a_dir = tmp_path / "file"
+        not_a_dir.write_text("")
+        code, _ = _run(
+            ["corpus", "--loops", "66",
+             "--obs-out", str(not_a_dir / "obs.jsonl")]
+        )
+        assert code == 2
+        assert "obs output path unusable" in capsys.readouterr().err
+
+
 class TestErrors:
     def test_negative_jobs_rejected_cleanly(self, capsys):
         code, _ = _run(["corpus", "--loops", "66", "--jobs", "-3"])
