@@ -375,14 +375,15 @@ def _evaluate_loop_payload(
                 list_sl = list_schedule_length(loop.graph, machine)
             phase = "mindist"
             with timer.phase("mindist"):
+                memo = mii_result.mindist_memo
                 at_mii = schedule_length_lower_bound(
-                    loop.graph, mii_result.mii, obs=obs
+                    loop.graph, mii_result.mii, obs=obs, memo=memo
                 )
                 if result.ii == mii_result.mii:
                     at_ii = at_mii
                 else:
                     at_ii = schedule_length_lower_bound(
-                        loop.graph, result.ii, obs=obs
+                        loop.graph, result.ii, obs=obs, memo=memo
                     )
             evaluation = LoopEvaluation(
                 loop=loop,

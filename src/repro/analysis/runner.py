@@ -114,11 +114,14 @@ def evaluate_loop(
         mii_result=mii_result,
     )
     list_sl = list_schedule_length(loop.graph, machine)
-    at_mii = schedule_length_lower_bound(loop.graph, mii_result.mii)
+    memo = mii_result.mindist_memo
+    at_mii = schedule_length_lower_bound(
+        loop.graph, mii_result.mii, memo=memo
+    )
     if result.ii == mii_result.mii:
         at_ii = at_mii
     else:
-        at_ii = schedule_length_lower_bound(loop.graph, result.ii)
+        at_ii = schedule_length_lower_bound(loop.graph, result.ii, memo=memo)
     return LoopEvaluation(
         loop=loop,
         n_ops=loop.graph.n_ops,

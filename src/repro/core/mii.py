@@ -20,7 +20,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.mindist import compute_mindist, mindist_feasible
+from repro.core.mindist import MinDistMemo, compute_mindist, mindist_feasible
 from repro.core.scc import nontrivial_components, strongly_connected_components
 from repro.core.stats import Counters
 from repro.ir.graph import DependenceGraph, GraphError
@@ -44,6 +44,12 @@ class MIIResult:
         All SCCs of the graph (reverse topological order).
     rec_mii_exact:
         Whether ``rec_mii`` is the true RecMII.
+    mindist_memo:
+        The :class:`~repro.core.mindist.MinDistMemo` accumulated while
+        searching for the RecMII (``None`` when the result was rebuilt
+        from a serialized payload).  Downstream consumers pass it back
+        into :func:`repro.core.mindist.schedule_length_lower_bound` so
+        the feasible-II matrices are reused instead of recomputed.
     """
 
     res_mii: int
@@ -51,6 +57,9 @@ class MIIResult:
     mii: int
     components: List[List[int]] = field(default_factory=list)
     rec_mii_exact: bool = True
+    mindist_memo: Optional[MinDistMemo] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def n_nontrivial_sccs(self) -> int:
@@ -99,16 +108,24 @@ def _min_feasible_ii(
     ops: Sequence[int],
     start: int,
     counters: Optional[Counters],
+    memo: Optional[MinDistMemo] = None,
 ) -> int:
     """Smallest II >= start with no positive MinDist diagonal over ``ops``.
 
     Implements the paper's search: try the seed; on failure grow the
     candidate by a doubling increment; finally binary-search between the
-    last unsuccessful and first successful candidates.
+    last unsuccessful and first successful candidates.  Probes go through
+    ``memo`` when one is supplied, so no (ops, II) pair is ever
+    recomputed — neither within this search (the doubling and
+    binary-search phases share one memo) nor by later consumers of the
+    same memo.
     """
+    ops = list(ops)
 
     def feasible(ii: int) -> bool:
         """No positive MinDist diagonal over ``ops`` at this II."""
+        if memo is not None:
+            return memo.feasible(ii, ops, counters)
         dist, _ = compute_mindist(graph, ii, ops, counters)
         return mindist_feasible(dist)
 
@@ -158,12 +175,15 @@ def rec_mii(
     start: int = 1,
     counters: Optional[Counters] = None,
     components: Optional[List[List[int]]] = None,
+    memo: Optional[MinDistMemo] = None,
 ) -> int:
     """Recurrence-constrained MII, computed one SCC at a time.
 
     ``start`` seeds the search (the production compiler seeds with ResMII;
     pass 1 for the exact RecMII).  Reflexive dependence edges on trivial
-    SCCs are handled analytically as ceil(delay / distance).
+    SCCs are handled analytically as ceil(delay / distance).  ``memo``
+    (a :class:`~repro.core.mindist.MinDistMemo` over ``graph``) caches
+    every feasibility probe's MinDist matrix.
     """
     best = max(1, start)
     if components is None:
@@ -179,7 +199,7 @@ def rec_mii(
                 )
             best = max(best, math.ceil(edge.delay / edge.distance))
     for component in nontrivial_components(components):
-        best = _min_feasible_ii(graph, component, best, counters)
+        best = _min_feasible_ii(graph, component, best, counters, memo)
     return best
 
 
@@ -187,14 +207,18 @@ def rec_mii_whole_graph(
     graph: DependenceGraph,
     start: int = 1,
     counters: Optional[Counters] = None,
+    memo: Optional[MinDistMemo] = None,
 ) -> int:
     """RecMII computed on the whole graph at once (no SCC decomposition).
 
     Exists for the ablation study of Section 2.2's observation that
     per-SCC computation makes the O(N^3) ComputeMinDist affordable; the
-    answer is identical to :func:`rec_mii`, only the cost differs.
+    answer is identical to :func:`rec_mii`, only the cost differs (which
+    is why the memo is opt-in here: the ablation must measure real work).
     """
-    return _min_feasible_ii(graph, list(range(graph.n_ops)), start, counters)
+    return _min_feasible_ii(
+        graph, list(range(graph.n_ops)), start, counters, memo
+    )
 
 
 def compute_mii(
@@ -214,13 +238,18 @@ def compute_mii(
 
     ``obs`` (an optional :class:`repro.obs.ObsContext`) receives one
     ``mii`` span with ``mii.scc``/``mii.res``/``mii.rec`` children, the
-    resulting bounds attached as attributes.
+    resulting bounds attached as attributes, plus the deterministic
+    ``mii.mindist_cache_hits`` counter (probes served by the
+    :class:`~repro.core.mindist.MinDistMemo` instead of a fresh
+    Floyd-Warshall pass).  The memo rides out on the result's
+    ``mindist_memo`` so the schedule-length bounds reuse it.
     """
     from repro.obs.context import NULL_OBS
 
     obs = obs if obs is not None else NULL_OBS
     if not graph.sealed:
         raise GraphError(f"graph {graph.name!r} must be sealed before MII")
+    memo = MinDistMemo(graph)
     with obs.span("mii", graph=graph.name, exact=exact) as mii_span:
         with obs.span("mii.scc"):
             components = strongly_connected_components(graph, counters)
@@ -229,12 +258,14 @@ def compute_mii(
             res_span.set("res_mii", res)
         with obs.span("mii.rec") as rec_span:
             if exact:
-                rec = rec_mii(graph, 1, counters, components)
+                rec = rec_mii(graph, 1, counters, components, memo)
                 mii = max(res, rec)
             else:
-                mii = rec_mii(graph, res, counters, components)
+                mii = rec_mii(graph, res, counters, components, memo)
                 rec = mii
             rec_span.set("rec_mii", rec)
+            rec_span.set("mindist_cache_hits", memo.hits)
+        obs.counter("mii.mindist_cache_hits").inc(memo.hits)
         mii_span.set("mii", mii)
     return MIIResult(
         res_mii=res,
@@ -242,4 +273,5 @@ def compute_mii(
         mii=mii,
         components=components,
         rec_mii_exact=exact,
+        mindist_memo=memo,
     )

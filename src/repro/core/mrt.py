@@ -10,27 +10,403 @@ The modulo variant (the MRT of the literature) folds time into
 a conflict at T implies conflicts at every T + k*II, and the table need
 only be II rows long.  The linear variant is the ordinary acyclic table
 used by list scheduling.
+
+Two implementations live here, behaviourally identical:
+
+* :class:`ModuloReservations` / :class:`LinearReservations` — the
+  **bitmask** tables (the default).  Every resource gets a stable bit
+  row; the whole schedule reservation table is one occupancy integer
+  (modulo) or one integer per resource row (linear), each operation
+  holds its placement as a mask, and a conflict probe is a single AND
+  against a mask precompiled per (table, II) — see
+  :func:`repro.machine.resources.compile_alternative` and the
+  per-(machine, II) cache :meth:`repro.machine.machine.MachineDescription.compiled_masks`.
+* :class:`DictModuloReservations` / :class:`DictLinearReservations` —
+  the original dict-of-cells tables, kept as the differential **oracle**
+  (``REPRO_MRT_IMPL=dict`` or ``mrt_impl="dict"`` on the schedulers).
+
+Both agree on every observable: ``conflicts``, ``conflicting_ops``,
+``occupancy``, raised :class:`ReservationConflict` messages, and the
+byte-exact ``render`` output (property-tested in
+``tests/core/test_mrt_differential.py``).
 """
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
-from repro.machine.resources import ReservationTable
+from repro.machine.resources import (
+    CompiledAlternative,
+    ReservationTable,
+    compile_alternative,
+    compile_linear_uses,
+)
 
 
 class ReservationConflict(RuntimeError):
     """Raised when a reservation would double-book a resource."""
 
 
+#: The selectable implementations; "mask" is the default fast path.
+MRT_IMPLS = ("mask", "dict")
+
+#: Environment override consulted when no explicit ``mrt_impl`` is given.
+MRT_IMPL_ENV = "REPRO_MRT_IMPL"
+
+
+def resolve_mrt_impl(impl: Optional[str] = None) -> str:
+    """Pick the MRT implementation: explicit arg > environment > mask."""
+    choice = impl if impl is not None else os.environ.get(MRT_IMPL_ENV, "mask")
+    if choice not in MRT_IMPLS:
+        raise ValueError(
+            f"unknown MRT implementation {choice!r}; choose from {MRT_IMPLS}"
+        )
+    return choice
+
+
+def _render_kernel(
+    cells: Dict[Tuple[str, int], int], ii: int, resources: Iterable[str]
+) -> str:
+    """ASCII kernel view: one row per modulo slot, one column per resource.
+
+    Shared by both MRT implementations so their output is byte-identical.
+    """
+    resources = list(resources)
+    width = max([len(r) for r in resources] + [6])
+    header = "slot  " + "  ".join(r.ljust(width) for r in resources)
+    lines = [header, "-" * len(header)]
+    for slot in range(ii):
+        row = []
+        for resource in resources:
+            holder = cells.get((resource, slot))
+            row.append(("" if holder is None else f"op{holder}").ljust(width))
+        lines.append(f"{slot:>4}  " + "  ".join(row))
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Bitmask implementation (the default)
+
+
+class ModuloReservations:
+    """The modulo reservation table on one occupancy integer.
+
+    Bit ``1 + row * II + slot`` stands for the cell ``(resource, slot)``;
+    ``conflicts`` is ``occupancy & mask[time % II]``.  Bit 0 is the
+    sentinel, permanently set in the occupancy: self-conflicting tables
+    carry it in every slot mask, so the same single AND rejects them
+    with no branch on the probe path.  Resource rows come from an
+    optional :class:`~repro.machine.machine.CompiledMaskSet` (machine
+    declaration order — what the schedulers use) and grow on demand for
+    tables probing resources the set has never seen, so the machine-less
+    construction ``ModuloReservations(ii)`` keeps working.
+
+    ``checks`` / ``fastpath_checks`` count ``conflicts`` probes and how
+    many were answered by the single-AND fast path (all of them, thanks
+    to the sentinel); the scheduler folds them into the
+    ``mrt.conflict_checks`` / ``mrt.mask_fastpath`` obs metrics.
+    ``cell_probes`` exists for parity with the dict oracle and stays 0
+    here.
+    """
+
+    #: The always-set occupancy bit that answers self-conflict probes.
+    SENTINEL = 1
+
+    def __init__(self, ii: int, mask_set=None) -> None:
+        if ii < 1:
+            raise ValueError(f"II must be >= 1, got {ii}")
+        self.ii = ii
+        self._occ = self.SENTINEL
+        self._held: Dict[int, int] = {}
+        if mask_set is not None:
+            self._rows: Dict[str, int] = dict(mask_set.rows)
+            self._row_names: List[str] = list(mask_set.row_names)
+        else:
+            self._rows = {}
+            self._row_names = []
+        # id(table) -> CompiledAlternative; the compiled entry pins the
+        # table alive, so ids cannot be recycled under us.
+        self._local: Dict[int, CompiledAlternative] = {}
+        self.checks = 0
+        self.slowpath_checks = 0
+        self.cell_probes = 0
+
+    @property
+    def fastpath_checks(self) -> int:
+        """Probes answered by the single-AND fast path (kept as a derived
+        quantity so ``conflicts`` pays for one counter, not two).  The
+        sentinel encoding routes every probe — self-conflict included —
+        through the AND, so this equals ``checks`` here."""
+        return self.checks - self.slowpath_checks
+
+    # -- compilation ---------------------------------------------------
+
+    def _row(self, resource: str) -> int:
+        row = self._rows.get(resource)
+        if row is None:
+            row = self._rows[resource] = len(self._row_names)
+            self._row_names.append(resource)
+        return row
+
+    def _compiled(self, table) -> CompiledAlternative:
+        if type(table) is CompiledAlternative:
+            return table
+        compiled = self._local.get(id(table))
+        if compiled is None:
+            for resource, _ in table.uses:
+                self._row(resource)
+            compiled = compile_alternative(table, self._rows, self.ii)
+            self._local[id(table)] = compiled
+        return compiled
+
+    # -- the public MRT protocol ---------------------------------------
+
+    def conflicts(self, table, time: int) -> bool:
+        """Would placing ``table`` at ``time`` collide with the schedule?
+
+        Includes *self*-conflicts: under modulo folding, two uses of the
+        same resource at offsets differing by a multiple of II land in
+        the same cell, making the table unplaceable at this II no matter
+        what else is scheduled — detected once at mask-compile time and
+        encoded as the sentinel bit, so this probe is branch-free.
+        """
+        self.checks += 1
+        compiled = (
+            table
+            if type(table) is CompiledAlternative
+            else self._compiled(table)
+        )
+        return (self._occ & compiled.slot_masks[time % self.ii]) != 0
+
+    def self_conflicting(self, table) -> bool:
+        """True when the table folds onto itself at this interval."""
+        return self._compiled(table).self_conflicting
+
+    def conflicting_ops(self, tables: Iterable, time: int) -> Set[int]:
+        """Operations occupying any cell any of ``tables`` would use.
+
+        This is the displacement set of Section 3.4, computed by
+        intersecting every operation's held mask with the union of the
+        probing tables' masks.
+        """
+        probe = 0
+        for table in tables:
+            probe |= self._compiled(table).slot_masks[time % self.ii]
+        return {op for op, held in self._held.items() if held & probe}
+
+    def reserve(self, op: int, table, time: int) -> None:
+        """Overlay ``table`` at ``time`` on behalf of operation ``op``."""
+        if op in self._held:
+            raise ReservationConflict(f"operation {op} already holds cells")
+        compiled = self._compiled(table)
+        mask = compiled.slot_masks[time % self.ii]
+        # The sentinel bit makes this one test cover occupied cells and
+        # self-conflicting tables alike.
+        if self._occ & mask:
+            self._raise_reserve_conflict(op, compiled, time)
+        self._occ |= mask
+        self._held[op] = mask
+
+    def _raise_reserve_conflict(
+        self, op: int, compiled: CompiledAlternative, time: int
+    ) -> None:
+        """Report the first offending use, exactly as the oracle would."""
+        seen = 0
+        for resource, offset in compiled.uses:
+            slot = (time + offset) % self.ii
+            bit = 1 << (1 + self._rows[resource] * self.ii + slot)
+            if self._occ & bit:
+                holder = next(
+                    o for o, held in self._held.items() if held & bit
+                )
+                raise ReservationConflict(
+                    f"operation {op} at time {time}: {resource!r} slot "
+                    f"{slot} already held by operation {holder}"
+                )
+            if seen & bit:
+                raise ReservationConflict(
+                    f"operation {op} at time {time}: table "
+                    f"{compiled.name!r} self-conflicts on {resource!r} slot "
+                    f"{slot} at this interval"
+                )
+            seen |= bit
+        raise AssertionError("reserve conflict vanished during reporting")
+
+    def release(self, op: int) -> None:
+        """Remove all reservations held by operation ``op`` (idempotent)."""
+        self._occ &= ~self._held.pop(op, 0)
+
+    def holds(self, op: int) -> bool:
+        """Whether operation ``op`` currently holds any cells."""
+        return op in self._held
+
+    def occupancy(self) -> Dict[Tuple[str, int], int]:
+        """Cell map decoded from the held masks, for validation/rendering."""
+        cells: Dict[Tuple[str, int], int] = {}
+        for op, held in self._held.items():
+            while held:
+                low = held & -held
+                position = low.bit_length() - 2  # undo the sentinel shift
+                cells[
+                    (self._row_names[position // self.ii], position % self.ii)
+                ] = op
+                held ^= low
+        return cells
+
+    def render(self, resources: Iterable[str]) -> str:
+        """ASCII kernel view, byte-identical to the dict oracle's."""
+        return _render_kernel(self.occupancy(), self.ii, resources)
+
+
 class LinearReservations:
-    """An ordinary (acyclic) schedule reservation table."""
+    """An ordinary (acyclic) schedule reservation table on bit-grids.
+
+    Time never folds here, so each resource row is one unbounded Python
+    integer (bit ``t`` = cycle ``t``) and a table compiles once into
+    per-row offset masks that are merely shifted by the issue time — the
+    growable linear bit-grid the list scheduler probes.
+    """
+
+    def __init__(self, machine=None) -> None:
+        if machine is not None:
+            self._rows: Dict[str, int] = {
+                name: row for row, name in enumerate(machine.resources)
+            }
+            self._row_names: List[str] = list(machine.resources)
+        else:
+            self._rows = {}
+            self._row_names = []
+        self._occ: List[int] = [0] * len(self._row_names)
+        # op -> list of (row, shifted mask) it occupies
+        self._held: Dict[int, List[Tuple[int, int]]] = {}
+        # id(table) -> (table, ((row, offset_mask), ...)); the entry pins
+        # the table alive, so ids cannot be recycled under us.
+        self._local: Dict[int, Tuple[ReservationTable, Tuple]] = {}
+        self.checks = 0
+        self.cell_probes = 0
+
+    @property
+    def fastpath_checks(self) -> int:
+        """Every linear probe is a bit-grid AND (no slow path exists)."""
+        return self.checks
+
+    # -- compilation ---------------------------------------------------
+
+    def _compiled(self, table: ReservationTable) -> Tuple:
+        entry = self._local.get(id(table))
+        if entry is None:
+            for resource, _ in table.uses:
+                if resource not in self._rows:
+                    self._rows[resource] = len(self._row_names)
+                    self._row_names.append(resource)
+                    self._occ.append(0)
+            entry = (table, compile_linear_uses(table, self._rows))
+            self._local[id(table)] = entry
+        return entry[1]
+
+    # -- the public MRT protocol ---------------------------------------
+
+    def conflicts(self, table: ReservationTable, time: int) -> bool:
+        """Would placing ``table`` at ``time`` collide with the schedule?"""
+        self.checks += 1
+        occ = self._occ
+        for row, mask in self._compiled(table):
+            if occ[row] & (mask << time):
+                return True
+        return False
+
+    def self_conflicting(self, table: ReservationTable) -> bool:
+        """Never true without folding: duplicate uses are rejected at
+        table construction."""
+        return False
+
+    def conflicting_ops(
+        self, tables: Iterable[ReservationTable], time: int
+    ) -> Set[int]:
+        """Operations occupying any cell any of ``tables`` would use."""
+        probe: Dict[int, int] = {}
+        for table in tables:
+            for row, mask in self._compiled(table):
+                probe[row] = probe.get(row, 0) | (mask << time)
+        return {
+            op
+            for op, held in self._held.items()
+            if any(probe.get(row, 0) & mask for row, mask in held)
+        }
+
+    def reserve(self, op: int, table: ReservationTable, time: int) -> None:
+        """Overlay ``table`` at ``time`` on behalf of operation ``op``."""
+        if op in self._held:
+            raise ReservationConflict(f"operation {op} already holds cells")
+        compiled = self._compiled(table)
+        occ = self._occ
+        placed = []
+        for row, mask in compiled:
+            shifted = mask << time
+            if occ[row] & shifted:
+                self._raise_reserve_conflict(op, table, time)
+            placed.append((row, shifted))
+        for row, shifted in placed:
+            occ[row] |= shifted
+        self._held[op] = placed
+
+    def _raise_reserve_conflict(
+        self, op: int, table: ReservationTable, time: int
+    ) -> None:
+        """Report the first offending use, exactly as the oracle would."""
+        for resource, offset in table.uses:
+            row = self._rows[resource]
+            bit = 1 << (time + offset)
+            if self._occ[row] & bit:
+                holder = next(
+                    o
+                    for o, held in self._held.items()
+                    if any(r == row and m & bit for r, m in held)
+                )
+                raise ReservationConflict(
+                    f"operation {op} at time {time}: {resource!r} slot "
+                    f"{time + offset} already held by operation {holder}"
+                )
+        raise AssertionError("reserve conflict vanished during reporting")
+
+    def release(self, op: int) -> None:
+        """Remove all reservations held by operation ``op`` (idempotent)."""
+        for row, mask in self._held.pop(op, ()):
+            self._occ[row] &= ~mask
+
+    def holds(self, op: int) -> bool:
+        """Whether operation ``op`` currently holds any cells."""
+        return op in self._held
+
+    def occupancy(self) -> Dict[Tuple[str, int], int]:
+        """Cell map decoded from the held masks, for validation/rendering."""
+        cells: Dict[Tuple[str, int], int] = {}
+        for op, held in self._held.items():
+            for row, mask in held:
+                resource = self._row_names[row]
+                while mask:
+                    low = mask & -mask
+                    cells[(resource, low.bit_length() - 1)] = op
+                    mask ^= low
+        return cells
+
+
+# ----------------------------------------------------------------------
+# Dict-of-cells implementation (the differential oracle)
+
+
+class DictLinearReservations:
+    """The original dict-backed acyclic schedule reservation table."""
 
     def __init__(self) -> None:
         # (resource, folded time) -> occupying operation index
         self._cells: Dict[Tuple[str, int], int] = {}
         # operation index -> cells it occupies
         self._held: Dict[int, List[Tuple[str, int]]] = {}
+        self.checks = 0
+        self.fastpath_checks = 0
+        self.cell_probes = 0
 
     def _fold(self, time: int) -> int:
         return time
@@ -46,13 +422,21 @@ class LinearReservations:
         else is scheduled (e.g. a load whose port is busy at issue and at
         data return cannot be scheduled at II equal to the return offset).
         """
+        self.checks += 1
+        occupied = self._cells
+        fold = self._fold
         cells = set()
+        probed = 0
+        hit = False
         for resource, offset in table.uses:
-            cell = (resource, self._fold(time + offset))
-            if cell in self._cells or cell in cells:
-                return True
+            probed += 1
+            cell = (resource, fold(time + offset))
+            if cell in occupied or cell in cells:
+                hit = True
+                break
             cells.add(cell)
-        return False
+        self.cell_probes += probed
+        return hit
 
     def self_conflicting(self, table: ReservationTable) -> bool:
         """True when the table folds onto itself at this interval."""
@@ -76,6 +460,7 @@ class LinearReservations:
         occupants: Set[int] = set()
         for table in tables:
             for resource, offset in table.uses:
+                self.cell_probes += 1
                 holder = self._cells.get((resource, self._fold(time + offset)))
                 if holder is not None:
                     occupants.add(holder)
@@ -85,21 +470,24 @@ class LinearReservations:
         """Overlay ``table`` at ``time`` on behalf of operation ``op``."""
         if op in self._held:
             raise ReservationConflict(f"operation {op} already holds cells")
-        cells = []
+        cells: List[Tuple[str, int]] = []
+        taken: Set[Tuple[str, int]] = set()
         for resource, offset in table.uses:
             cell = (resource, self._fold(time + offset))
+            self.cell_probes += 1
             holder = self._cells.get(cell)
             if holder is not None:
                 raise ReservationConflict(
                     f"operation {op} at time {time}: {resource!r} slot "
                     f"{cell[1]} already held by operation {holder}"
                 )
-            if cell in cells:
+            if cell in taken:
                 raise ReservationConflict(
                     f"operation {op} at time {time}: table "
                     f"{table.name!r} self-conflicts on {resource!r} slot "
                     f"{cell[1]} at this interval"
                 )
+            taken.add(cell)
             cells.append(cell)
         for cell in cells:
             self._cells[cell] = op
@@ -119,8 +507,8 @@ class LinearReservations:
         return dict(self._cells)
 
 
-class ModuloReservations(LinearReservations):
-    """The modulo reservation table: cells are folded by ``time mod II``."""
+class DictModuloReservations(DictLinearReservations):
+    """The original dict-backed MRT: cells are folded by ``time mod II``."""
 
     def __init__(self, ii: int) -> None:
         if ii < 1:
@@ -133,14 +521,31 @@ class ModuloReservations(LinearReservations):
 
     def render(self, resources: Iterable[str]) -> str:
         """ASCII kernel view: one row per modulo slot, one column per resource."""
-        resources = list(resources)
-        width = max([len(r) for r in resources] + [6])
-        header = "slot  " + "  ".join(r.ljust(width) for r in resources)
-        lines = [header, "-" * len(header)]
-        for slot in range(self.ii):
-            cells = []
-            for resource in resources:
-                holder = self._cells.get((resource, slot))
-                cells.append(("" if holder is None else f"op{holder}").ljust(width))
-            lines.append(f"{slot:>4}  " + "  ".join(cells))
-        return "\n".join(lines)
+        return _render_kernel(self._cells, self.ii, resources)
+
+
+# ----------------------------------------------------------------------
+# Factories (what the schedulers construct through)
+
+
+def make_modulo_reservations(
+    ii: int, machine=None, impl: Optional[str] = None
+):
+    """Build an MRT for ``ii``: the bitmask table unless the dict oracle
+    was selected (``impl`` argument or ``REPRO_MRT_IMPL``)."""
+    if resolve_mrt_impl(impl) == "dict":
+        return DictModuloReservations(ii)
+    mask_set = None
+    if machine is not None:
+        compiled_masks = getattr(machine, "compiled_masks", None)
+        if compiled_masks is not None:
+            mask_set = compiled_masks(ii)
+    return ModuloReservations(ii, mask_set=mask_set)
+
+
+def make_linear_reservations(machine=None, impl: Optional[str] = None):
+    """Build a linear schedule reservation table (see
+    :func:`make_modulo_reservations` for implementation selection)."""
+    if resolve_mrt_impl(impl) == "dict":
+        return DictLinearReservations()
+    return LinearReservations(machine=machine)

@@ -30,7 +30,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.heights import height_r
 from repro.core.mii import MIIResult, compute_mii
-from repro.core.mrt import ModuloReservations
+from repro.core.mrt import make_modulo_reservations, resolve_mrt_impl
 from repro.core.schedule import Schedule
 from repro.core.stats import Counters
 from repro.ir.graph import DependenceGraph, GraphError
@@ -148,6 +148,7 @@ class IterativeScheduler:
         counters: Optional[Counters] = None,
         priority: str = "heightr",
         trace=None,
+        mrt_impl: Optional[str] = None,
     ) -> None:
         if not graph.sealed:
             raise GraphError(f"graph {graph.name!r} must be sealed")
@@ -156,6 +157,7 @@ class IterativeScheduler:
         self.ii = ii
         self.counters = counters if counters is not None else Counters()
         self.trace = trace
+        self.mrt_impl = resolve_mrt_impl(mrt_impl)
         try:
             scheme = PRIORITY_SCHEMES[priority]
         except KeyError:
@@ -177,16 +179,30 @@ class IterativeScheduler:
         failed attempt is returned; otherwise None.
         """
         graph = self.graph
-        self._mrt = ModuloReservations(self.ii)
+        self._mrt = make_modulo_reservations(
+            self.ii, machine=self.machine, impl=self.mrt_impl
+        )
+        mask_set = None
+        if self.mrt_impl == "mask":
+            compiled_masks = getattr(self.machine, "compiled_masks", None)
+            if compiled_masks is not None:
+                mask_set = compiled_masks(self.ii)
         self._feasible_alts: Dict[str, tuple] = {}
         for operation in graph.real_operations():
             if operation.opcode in self._feasible_alts:
                 continue
-            usable = tuple(
-                alt
-                for alt in self.machine.opcode(operation.opcode).alternatives
-                if not self._mrt.self_conflicting(alt)
-            )
+            if mask_set is not None:
+                # Self-conflicting alternatives were rejected once at
+                # mask-compile time; reuse that verdict per (machine, II).
+                usable = mask_set.feasible(operation.opcode)
+            else:
+                usable = tuple(
+                    alt
+                    for alt in self.machine.opcode(
+                        operation.opcode
+                    ).alternatives
+                    if not self._mrt.self_conflicting(alt)
+                )
             if not usable:
                 return _AttemptResult(False, {}, {}, 0)
             self._feasible_alts[operation.opcode] = usable
@@ -331,6 +347,9 @@ class IterativeScheduler:
     ) -> None:
         if alternative is not None:
             self._mrt.reserve(op, alternative, slot)
+            # The MRT's fast path works on CompiledAlternative wrappers;
+            # the schedule itself records the underlying table.
+            alternative = getattr(alternative, "table", alternative)
         self._times[op] = slot
         self._alts[op] = alternative
         self._prev_time[op] = slot
@@ -391,6 +410,7 @@ def modulo_schedule(
     style: str = "operation",
     trace=None,
     obs=None,
+    mrt_impl: Optional[str] = None,
 ) -> ModuloScheduleResult:
     """ModuloSchedule (Figure 2): find a legal modulo schedule.
 
@@ -430,8 +450,13 @@ def modulo_schedule(
         attempt becomes a ``schedule.attempt`` span carrying the
         candidate II, the budget burn-down (steps used / remaining) and
         the displacement/force counts of that attempt; deterministic
-        outcome metrics (attempts, delta II, per-attempt steps) land in
-        the metrics registry.
+        outcome metrics (attempts, delta II, per-attempt steps, MRT
+        conflict-probe counts ``mrt.conflict_checks`` /
+        ``mrt.mask_fastpath``) land in the metrics registry.
+    mrt_impl:
+        Reservation-table implementation: ``"mask"`` (the bitmask fast
+        path, the default), ``"dict"`` (the original dict-of-cells
+        oracle), or ``None`` to consult ``REPRO_MRT_IMPL``.
 
     Raises
     ------
@@ -478,10 +503,15 @@ def modulo_schedule(
             displaced_before = counters.ops_unscheduled
             forced_before = counters.ops_forced
             with obs.span("schedule.attempt", ii=ii) as attempt_span:
-                attempt = scheduler_class(
+                scheduler = scheduler_class(
                     graph, machine, ii, counters, priority=priority,
-                    trace=trace,
-                ).run(budget)
+                    trace=trace, mrt_impl=mrt_impl,
+                )
+                attempt = scheduler.run(budget)
+            mrt = getattr(scheduler, "_mrt", None)
+            if mrt is not None:
+                obs.counter("mrt.conflict_checks").inc(mrt.checks)
+                obs.counter("mrt.mask_fastpath").inc(mrt.fastpath_checks)
             attempt_span.set("success", attempt.success)
             attempt_span.set("steps", attempt.steps)
             attempt_span.set("budget", budget)

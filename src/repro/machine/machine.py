@@ -8,14 +8,65 @@ serves as the *latency provider* for dependence graphs.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Tuple
+import hashlib
+import json
+from typing import Dict, Iterable, Mapping, Optional, Tuple
 
 from repro.machine.opcodes import Opcode
-from repro.machine.resources import ReservationTable, TableKind
+from repro.machine.resources import (
+    CompiledAlternative,
+    ReservationTable,
+    TableKind,
+    compile_alternative,
+)
 
 
 class MachineError(KeyError):
     """Raised for unknown opcodes or malformed machine descriptions."""
+
+
+class CompiledMaskSet:
+    """Every opcode alternative of one machine, mask-compiled at one II.
+
+    Resources take their bit rows from the machine's declaration order,
+    so masks are stable across processes and machine instances with the
+    same content.  Alternatives that fold onto themselves at this II are
+    rejected here, once — ``feasible()`` is what the scheduler's
+    per-attempt setup consumes instead of re-probing every alternative.
+    """
+
+    def __init__(self, machine: "MachineDescription", ii: int) -> None:
+        self.ii = ii
+        self.row_names: Tuple[str, ...] = machine.resources
+        self.rows: Dict[str, int] = {
+            name: row for row, name in enumerate(self.row_names)
+        }
+        self._all: Dict[str, Tuple[CompiledAlternative, ...]] = {}
+        self._feasible: Dict[str, Tuple[CompiledAlternative, ...]] = {}
+        for opcode in machine.opcode_names:
+            compiled = tuple(
+                compile_alternative(alt, self.rows, ii)
+                for alt in machine.opcode(opcode).alternatives
+            )
+            self._all[opcode] = compiled
+            self._feasible[opcode] = tuple(
+                alt for alt in compiled if not alt.self_conflicting
+            )
+
+    def alternatives(self, opcode: str) -> Tuple[CompiledAlternative, ...]:
+        """Every compiled alternative of ``opcode``, in declaration order."""
+        return self._all[opcode]
+
+    def feasible(self, opcode: str) -> Tuple[CompiledAlternative, ...]:
+        """The alternatives of ``opcode`` placeable at this II."""
+        return self._feasible[opcode]
+
+
+#: Process-wide compiled-mask cache, content-addressed like the corpus
+#: engine's result cache: the key is (sha256 of the serialized machine,
+#: II), so equal machines built in different places share one compile.
+_MASK_SET_CACHE: Dict[Tuple[str, int], CompiledMaskSet] = {}
+_MASK_SET_CACHE_LIMIT = 1024
 
 
 class MachineDescription:
@@ -54,6 +105,43 @@ class MachineDescription:
                         f"unknown resources {sorted(missing)}"
                     )
             self._opcodes[opcode.name] = opcode
+        self._content_key: Optional[str] = None
+        self._mask_sets: Dict[int, CompiledMaskSet] = {}
+
+    # ------------------------------------------------------------------
+
+    @property
+    def content_key(self) -> str:
+        """SHA-256 of the canonical serialized machine (lazy, memoized)."""
+        if self._content_key is None:
+            from repro.machine.serialize import machine_to_dict
+
+            text = json.dumps(
+                machine_to_dict(self), sort_keys=True, separators=(",", ":")
+            )
+            self._content_key = hashlib.sha256(
+                text.encode("utf-8")
+            ).hexdigest()
+        return self._content_key
+
+    def compiled_masks(self, ii: int) -> CompiledMaskSet:
+        """The bitmask compilation of every opcode alternative at ``ii``.
+
+        Compilation happens at most once per (machine content, II) per
+        process; repeated scheduler attempts, corpus loops, and even
+        distinct-but-equal machine instances all share the result.
+        """
+        cached = self._mask_sets.get(ii)
+        if cached is not None:
+            return cached
+        key = (self.content_key, ii)
+        shared = _MASK_SET_CACHE.get(key)
+        if shared is None:
+            while len(_MASK_SET_CACHE) >= _MASK_SET_CACHE_LIMIT:
+                _MASK_SET_CACHE.pop(next(iter(_MASK_SET_CACHE)))
+            shared = _MASK_SET_CACHE[key] = CompiledMaskSet(self, ii)
+        self._mask_sets[ii] = shared
+        return shared
 
     # ------------------------------------------------------------------
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
 
 class TableKind(enum.Enum):
@@ -99,6 +99,118 @@ class ReservationTable:
     def render(self) -> str:
         """ASCII rendering in the style of Figure 1 of the paper."""
         return render_reservation_tables([self])
+
+
+# ----------------------------------------------------------------------
+# Bitmask compilation (the scheduler's O(1)-conflict fast path)
+#
+# A reservation table probed against a modulo reservation table at II
+# touches, for each use ``(resource, offset)``, the cell
+# ``(resource, (time + offset) mod II)``.  Assigning every resource a
+# stable integer *row* turns the whole (resource x modulo-slot) grid into
+# one integer: bit ``row * II + slot``.  A table then compiles — once per
+# (row assignment, II) — into one mask per issue slot in ``0..II-1``, and
+# a placement test against the occupancy integer is a single AND.
+
+
+class CompiledAlternative:
+    """One :class:`ReservationTable` compiled to bitmasks at a fixed II.
+
+    Attributes
+    ----------
+    table:
+        The source reservation table.
+    ii:
+        The initiation interval the masks are folded by.
+    slot_masks:
+        ``slot_masks[t % ii]`` is the occupancy mask of placing the table
+        at time ``t`` — bit ``1 + row * ii + slot`` set for every cell
+        used.  Bit 0 is the *sentinel*: always set in an MRT's occupancy,
+        and set in every slot mask of a self-conflicting table, so the
+        single AND also answers "unplaceable at this II" with no extra
+        branch on the probe path.
+    self_conflicting:
+        True when two uses of one resource fold onto the same modulo slot
+        at this II, making the table unplaceable whatever the schedule
+        holds (detected once here, never re-derived per probe).
+    """
+
+    __slots__ = ("table", "ii", "slot_masks", "self_conflicting")
+
+    def __init__(
+        self,
+        table: ReservationTable,
+        ii: int,
+        slot_masks: Tuple[int, ...],
+        self_conflicting: bool,
+    ) -> None:
+        self.table = table
+        self.ii = ii
+        self.slot_masks = slot_masks
+        self.self_conflicting = self_conflicting
+
+    @property
+    def name(self) -> str:
+        """The source table's name (so traces read the same either way)."""
+        return self.table.name
+
+    @property
+    def uses(self) -> Tuple[Tuple[str, int], ...]:
+        """The source table's uses (for slow-path conflict reporting)."""
+        return self.table.uses
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CompiledAlternative({self.table.name!r}, ii={self.ii}, "
+            f"self_conflicting={self.self_conflicting})"
+        )
+
+
+def compile_alternative(
+    table: ReservationTable, rows: Mapping[str, int], ii: int
+) -> CompiledAlternative:
+    """Fold ``table`` at ``ii`` into one occupancy mask per issue slot.
+
+    ``rows`` maps resource names to their bit rows; every resource the
+    table touches must be present.  Self-conflict (two uses landing on
+    one bit) is II-dependent but issue-slot-independent, so it is
+    detected while building the slot-0 mask — and encoded as the
+    sentinel bit 0 in every slot mask, which an MRT keeps permanently
+    set in its occupancy.
+    """
+    if ii < 1:
+        raise ValueError(f"II must be >= 1, got {ii}")
+    self_conflicting = False
+    masks = []
+    for issue in range(ii):
+        mask = 0
+        for resource, offset in table.uses:
+            bit = 1 << (1 + rows[resource] * ii + (issue + offset) % ii)
+            if issue == 0 and mask & bit:
+                self_conflicting = True
+            mask |= bit
+        masks.append(mask)
+    if self_conflicting:
+        masks = [mask | 1 for mask in masks]
+    return CompiledAlternative(table, ii, tuple(masks), self_conflicting)
+
+
+def compile_linear_uses(
+    table: ReservationTable, rows: Mapping[str, int]
+) -> Tuple[Tuple[int, int], ...]:
+    """Compile ``table`` for a *linear* (acyclic) bit-grid.
+
+    Returns ``(row, offset_mask)`` pairs, one per distinct resource: bit
+    ``o`` of ``offset_mask`` is set when the table uses the resource at
+    cycle offset ``o``.  Placing the table at time ``t`` occupies
+    ``offset_mask << t`` within the resource's (unbounded, growable)
+    occupancy integer — time never folds, so a plain shift suffices.
+    """
+    per_row: Dict[int, int] = {}
+    for resource, offset in table.uses:
+        row = rows[resource]
+        per_row[row] = per_row.get(row, 0) | (1 << offset)
+    return tuple(sorted(per_row.items()))
 
 
 def render_reservation_tables(tables: Sequence[ReservationTable]) -> str:

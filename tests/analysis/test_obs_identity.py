@@ -84,6 +84,20 @@ class TestMetricsByteIdentity:
         assert counters["engine.loops"] == len(corpus)
         assert counters["engine.failures"] == 0
 
+    def test_metrics_hold_the_mrt_hotpath_counters(self, machine, corpus):
+        """The bitmask-MRT kernel reports its probe counts: every conflict
+        check the scheduler issued, and how many were answered by the
+        single-AND fast path (all of them — the per-attempt setup compiles
+        self-conflicting alternatives out up front).  The MinDist-memo
+        counter is registered even when structurally zero, so the snapshot
+        keys are deterministic."""
+        obs, _ = _traced_run(machine, corpus, jobs=2)
+        counters = obs.metrics.snapshot()["counters"]
+        assert counters["mrt.conflict_checks"] > 0
+        assert counters["mrt.mask_fastpath"] > 0
+        assert counters["mrt.mask_fastpath"] == counters["mrt.conflict_checks"]
+        assert "mii.mindist_cache_hits" in counters
+
 
 class TestCountersSurviveTheRunner:
     def test_evaluate_corpus_merges_into_caller_counters(

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.core import Counters, compute_mii, rec_mii, res_mii
+from repro.core import Counters, MinDistMemo, compute_mii, rec_mii, res_mii
+from repro.core.mindist import schedule_length_lower_bound
 from repro.ir import DependenceGraph, DependenceKind, GraphError
 from repro.machine import (
     cydra5,
@@ -172,3 +173,76 @@ class TestComputeMII:
         graph.seal()
         # Circuit delay = 4 * 8 = 32 at distance 1.
         assert rec_mii(graph) == 32
+
+
+class TestMinDistMemoization:
+    def test_warm_memo_recomputes_nothing(self, alu):
+        """A second RecMII search over the same memo performs zero fresh
+        ComputeMinDist passes — every probe is a cache hit."""
+        graph = cross_iteration_graph(alu, distance=1)
+        memo = MinDistMemo(graph)
+        cold = Counters()
+        assert rec_mii(graph, counters=cold, memo=memo) == 4
+        assert cold.mindist_invocations > 0
+        assert memo.misses == cold.mindist_invocations
+        warm = Counters()
+        assert rec_mii(graph, counters=warm, memo=memo) == 4
+        assert warm.mindist_invocations == 0
+        assert memo.hits >= memo.misses
+
+    def test_compute_mii_carries_the_memo_out(self, alu):
+        graph = cross_iteration_graph(alu, distance=1)
+        result = compute_mii(graph, alu)
+        assert result.mindist_memo is not None
+        assert result.mindist_memo.graph is graph
+        assert result.mindist_memo.misses > 0
+
+    def test_bound_reuses_feasible_ii_matrices(self, alu):
+        """Repeated schedule-length bounds at one II cost one whole-graph
+        Floyd-Warshall pass in total when the MII memo is passed back."""
+        graph = cross_iteration_graph(alu, distance=1)
+        result = compute_mii(graph, alu)
+        memo = result.mindist_memo
+        counters = Counters()
+        first = schedule_length_lower_bound(
+            graph, result.mii, counters, memo=memo
+        )
+        after_first = counters.mindist_invocations
+        assert after_first == 1
+        second = schedule_length_lower_bound(
+            graph, result.mii, counters, memo=memo
+        )
+        assert second == first
+        assert counters.mindist_invocations == after_first
+        assert memo.hits >= 1
+
+    def test_memo_for_another_graph_is_ignored(self, alu):
+        stale = MinDistMemo(cross_iteration_graph(alu, distance=2))
+        graph = cross_iteration_graph(alu, distance=1)
+        counters = Counters()
+        bound = schedule_length_lower_bound(graph, 4, counters, memo=stale)
+        assert bound == schedule_length_lower_bound(graph, 4)
+        assert counters.mindist_invocations == 1
+        assert not stale.hits and not stale.misses
+
+    def test_mindist_cache_hits_metric_emitted(self, alu):
+        from repro.obs import ObsContext
+
+        obs = ObsContext()
+        graph = cross_iteration_graph(alu, distance=1)
+        compute_mii(graph, alu, obs=obs)
+        counters = obs.metrics.snapshot()["counters"]
+        assert "mii.mindist_cache_hits" in counters
+        assert counters["mii.mindist_cache_hits"] >= 0
+
+    def test_whole_graph_ablation_measures_real_work_by_default(self, alu):
+        """rec_mii_whole_graph must not silently share a memo — each call
+        without one pays the full ComputeMinDist cost (the Section 2.2
+        ablation depends on this)."""
+        from repro.core.mii import rec_mii_whole_graph
+
+        graph = cross_iteration_graph(alu, distance=1)
+        first, second = Counters(), Counters()
+        assert rec_mii_whole_graph(graph, counters=first) == 4
+        assert rec_mii_whole_graph(graph, counters=second) == 4
+        assert second.mindist_invocations == first.mindist_invocations > 0

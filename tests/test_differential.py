@@ -16,6 +16,8 @@ import pytest
 from repro.analysis import evaluate_corpus
 from repro.analysis.engine import EvaluationEngine
 from repro.baselines.list_scheduler import list_schedule
+from repro.core.mii import compute_mii
+from repro.core.scheduler import modulo_schedule
 from repro.machine import cydra5
 from repro.simulator import check_equivalence
 from repro.simulator.state import make_initial_state
@@ -110,3 +112,63 @@ class TestSimulatedEquivalence:
         assert result.ok, [f.describe() for f in result.failures]
         simulated = result.phase_seconds().get("simulation", 0.0)
         assert simulated > 0.0
+
+
+def _alternative_names(schedule):
+    return {
+        op: (alt.name if alt is not None else None)
+        for op, alt in schedule.alternatives.items()
+    }
+
+
+class TestMrtImplementationParity:
+    """The bitmask MRT and the dict oracle must schedule identically.
+
+    Acceptance for the bitmask kernel: over the *full* corpus, both
+    implementations reach the same II, the same schedule length, the
+    same per-operation times, and pick the same opcode alternatives —
+    the fast path is a pure representation change.
+    """
+
+    def test_modulo_scheduler_agrees_over_the_full_corpus(
+        self, machine, corpus
+    ):
+        for loop in corpus:
+            mii_result = compute_mii(loop.graph, machine)
+            mask = modulo_schedule(
+                loop.graph, machine, mii_result=mii_result, mrt_impl="mask"
+            )
+            oracle = modulo_schedule(
+                loop.graph, machine, mii_result=mii_result, mrt_impl="dict"
+            )
+            context = loop.name
+            assert mask.ii == oracle.ii, context
+            assert (
+                mask.schedule.schedule_length
+                == oracle.schedule.schedule_length
+            ), context
+            assert mask.schedule.times == oracle.schedule.times, context
+            assert _alternative_names(mask.schedule) == _alternative_names(
+                oracle.schedule
+            ), context
+
+    def test_list_scheduler_agrees(self, machine, corpus):
+        for loop in corpus[:20]:
+            mask = list_schedule(loop.graph, machine, mrt_impl="mask")
+            oracle = list_schedule(loop.graph, machine, mrt_impl="dict")
+            assert mask.times == oracle.times, loop.name
+            assert _alternative_names(mask) == _alternative_names(oracle), (
+                loop.name
+            )
+
+    def test_environment_selects_the_oracle_end_to_end(
+        self, machine, corpus, monkeypatch
+    ):
+        """REPRO_MRT_IMPL=dict routes a whole evaluation through the
+        oracle and changes no observable result."""
+        loop = corpus[0]
+        defaulted = modulo_schedule(loop.graph, machine)
+        monkeypatch.setenv("REPRO_MRT_IMPL", "dict")
+        forced = modulo_schedule(loop.graph, machine)
+        assert forced.ii == defaulted.ii
+        assert forced.schedule.times == defaulted.schedule.times
