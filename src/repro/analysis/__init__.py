@@ -8,9 +8,14 @@
   data against N for the Table-4 complexity study;
 * :mod:`repro.analysis.runner` — one-stop evaluation of a corpus loop
   (MII, modulo schedule, list-schedule and MinDist lower bounds, counters);
-* :mod:`repro.analysis.engine` — the parallel, content-addressed
-  corpus-evaluation engine (process-pool fan-out, on-disk result cache,
-  structured failure and timing records);
+* :mod:`repro.analysis.engine` — the parallel, content-addressed,
+  fault-tolerant corpus-evaluation engine (process-pool fan-out, on-disk
+  result cache, watchdog timeouts, crash-isolated retries,
+  checkpoint/resume, degradation ladder);
+* :mod:`repro.analysis.resilience` — the engine's resilience policies
+  (failure taxonomy, retry backoff, result journal, quarantine);
+* :mod:`repro.analysis.faultinject` — deterministic fault injection for
+  the resilience test-suite (``REPRO_FAULT_INJECT``);
 * :mod:`repro.analysis.report` — plain-text table/series rendering.
 """
 
@@ -24,7 +29,16 @@ from repro.analysis.engine import (
     evaluation_from_dict,
     evaluation_to_dict,
 )
+from repro.analysis.faultinject import FaultPlan, parse_fault_spec
 from repro.analysis.model import execution_time, execution_time_bound
+from repro.analysis.resilience import (
+    Deadline,
+    DeadlineExceeded,
+    ResultJournal,
+    RetryPolicy,
+    classify_failure,
+    load_quarantine,
+)
 from repro.analysis.regression import (
     counter_totals,
     fit_linear,
@@ -45,11 +59,19 @@ from repro.analysis.tables import table3_rows
 
 __all__ = [
     "CorpusEvaluation",
+    "Deadline",
+    "DeadlineExceeded",
     "DistributionRow",
     "EvaluationEngine",
+    "FaultPlan",
     "LoopFailure",
     "LoopTiming",
+    "ResultJournal",
+    "RetryPolicy",
     "cache_key",
+    "classify_failure",
+    "load_quarantine",
+    "parse_fault_spec",
     "distribution_row",
     "evaluation_from_dict",
     "evaluation_to_dict",

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.analysis.model import execution_time, execution_time_bound
 from repro.baselines.list_scheduler import list_schedule_length
@@ -28,8 +28,23 @@ class LoopEvaluation:
     mindist_sl_at_mii: int
     mindist_sl_at_ii: int
     counters: Counters
+    #: Degradation-ladder record when the engine fell back (None on the
+    #: normal full-IMS path): level, rung name, trigger and its detail.
+    degradation: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------------
+
+    @property
+    def degradation_level(self) -> int:
+        """Ladder rung this record came from (0 = full IMS, no fallback)."""
+        if not self.degradation:
+            return 0
+        return int(self.degradation.get("level", 0))
+
+    @property
+    def degraded(self) -> bool:
+        """Whether this record came from a fallback scheduler."""
+        return self.degradation_level > 0
 
     @property
     def mii(self) -> int:
@@ -148,6 +163,13 @@ def evaluate_corpus(
     failures: Optional[list] = None,
     counters: Optional[Counters] = None,
     obs=None,
+    loop_timeout: Optional[float] = None,
+    retry_policy=None,
+    degrade: bool = True,
+    journal_path=None,
+    resume: bool = False,
+    quarantine_path=None,
+    fault_plan=None,
 ) -> List[LoopEvaluation]:
     """Evaluate every loop of a corpus (order preserved).
 
@@ -176,6 +198,13 @@ def evaluate_corpus(
         use_cache=use_cache,
         verify_iterations=verify_iterations,
         obs=obs,
+        loop_timeout=loop_timeout,
+        retry_policy=retry_policy,
+        degrade=degrade,
+        journal_path=journal_path,
+        resume=resume,
+        quarantine_path=quarantine_path,
+        fault_plan=fault_plan,
     )
     result = engine.evaluate(corpus)
     if failures is not None:

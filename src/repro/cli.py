@@ -251,6 +251,7 @@ def _cmd_corpus(args, out) -> int:
 
     from repro.analysis import distribution_row, render_table
     from repro.analysis.engine import EvaluationEngine
+    from repro.analysis.resilience import RetryPolicy
     from repro.analysis.report import render_phase_summary
     from repro.workloads import build_corpus
     from repro.workloads.kernels import KERNELS
@@ -278,6 +279,12 @@ def _cmd_corpus(args, out) -> int:
             use_cache=not args.no_cache,
             verify_iterations=args.verify,
             obs=obs,
+            loop_timeout=args.loop_timeout,
+            retry_policy=RetryPolicy(max_retries=args.retries),
+            degrade=not args.no_degrade,
+            journal_path=args.journal,
+            resume=args.resume,
+            quarantine_path=args.quarantine,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -330,6 +337,14 @@ def _cmd_corpus(args, out) -> int:
         file=out,
     )
     print(f"engine: {result.describe()}", file=out)
+    for note in result.diagnostics:
+        print(f"  note: {note}", file=out)
+    if result.quarantine_path and result.quarantined:
+        print(
+            f"  {result.quarantined} loop(s) quarantined to "
+            f"{result.quarantine_path}",
+            file=out,
+        )
     if result.failures:
         for failure in result.failures:
             print(f"  FAILED {failure.describe()}", file=out)
@@ -427,6 +442,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--verify", type=int, default=0, metavar="N",
         help="simulate N iterations of every front-end loop against the "
              "sequential oracle (mismatches become failure records)",
+    )
+    corpus.add_argument(
+        "--loop-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-loop wall-clock watchdog: a loop exceeding this budget "
+             "is stopped (and falls down the degradation ladder)",
+    )
+    corpus.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="re-executions granted to a loop after a transient failure "
+             "(crashed/hung worker, timeout); 0 disables retrying",
+    )
+    corpus.add_argument(
+        "--no-degrade", action="store_true",
+        help="fail a loop outright on budget/deadline exhaustion instead "
+             "of falling back to relaxed IMS / list scheduling",
+    )
+    corpus.add_argument(
+        "--journal", default=None, metavar="FILE",
+        help="append-only per-loop checkpoint journal "
+             "(default <cache-dir>/journal.jsonl when caching)",
+    )
+    corpus.add_argument(
+        "--resume", action="store_true",
+        help="replay loops already completed in the journal and evaluate "
+             "only the rest (needs --cache-dir or --journal)",
+    )
+    corpus.add_argument(
+        "--quarantine", default=None, metavar="FILE",
+        help="where terminal failures are recorded as quarantine.json "
+             "(default <cache-dir>/quarantine.json when caching)",
     )
     _obs_arguments(corpus)
     corpus.set_defaults(handler=_cmd_corpus)

@@ -1,0 +1,78 @@
+"""Cooperative wall-clock deadlines for the long-running core algorithms.
+
+Rau's corpus evaluation only terminates because every loop does; a
+pathological recurrence can send ComputeMinDist's doubling search or the
+II escalation of ``modulo_schedule`` into minutes of work.  A
+:class:`Deadline` is the cooperative half of the engine's watchdog: the
+corpus worker creates one per loop and threads it through ``compute_mii``
+and ``modulo_schedule``, whose inner loops call :meth:`Deadline.check` at
+natural safepoints (once per MinDist invocation, once per II attempt,
+every few scheduling steps).  When the budget is gone the algorithm
+raises :class:`DeadlineExceeded` instead of running on, and the engine
+classifies, retries or degrades the loop (see
+:mod:`repro.analysis.resilience`).
+
+The object is deliberately dumb — a monotonic-clock expiry and nothing
+else — so checks cost one clock read and the core algorithms stay free of
+any policy.  ``deadline=None`` everywhere means "no limit" and is the
+default, keeping untimed callers on a branch-predictable fast path.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+class DeadlineExceeded(RuntimeError):
+    """A cooperative wall-clock deadline expired mid-algorithm."""
+
+
+class Deadline:
+    """A wall-clock budget checked cooperatively from algorithm inner loops.
+
+    Parameters
+    ----------
+    seconds:
+        The budget, measured from construction time on the monotonic
+        clock (immune to wall-clock adjustments).
+    """
+
+    __slots__ = ("seconds", "_expires_at")
+
+    def __init__(self, seconds: float) -> None:
+        if seconds <= 0:
+            raise ValueError(f"deadline must be positive, got {seconds}")
+        self.seconds = float(seconds)
+        self._expires_at = time.monotonic() + self.seconds
+
+    def remaining(self) -> float:
+        """Seconds left (negative once expired)."""
+        return self._expires_at - time.monotonic()
+
+    @property
+    def expired(self) -> bool:
+        """True once the budget is used up."""
+        return time.monotonic() >= self._expires_at
+
+    def check(self, where: str = "") -> None:
+        """Raise :class:`DeadlineExceeded` when the budget is used up.
+
+        ``where`` names the algorithm phase for the error message (the
+        failure taxonomy only needs the type, but quarantine records are
+        meant to be read by humans).
+        """
+        if time.monotonic() >= self._expires_at:
+            suffix = f" in {where}" if where else ""
+            raise DeadlineExceeded(
+                f"wall-clock deadline of {self.seconds:.3g}s exceeded{suffix}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Deadline({self.seconds!r}, remaining={self.remaining():.3f})"
+
+
+def check_deadline(deadline: Optional[Deadline], where: str = "") -> None:
+    """``deadline.check(where)`` tolerating ``None`` (the common case)."""
+    if deadline is not None:
+        deadline.check(where)

@@ -46,6 +46,8 @@ class InstructionDrivenScheduler(IterativeScheduler):
 
         time = 0
         while self._unscheduled and steps < budget:
+            if self.deadline is not None and (steps & 31) == 0:
+                self.deadline.check("scheduling")
             placed_someone = False
             # Ready operations at this cycle, most critical first.
             ready = sorted(

@@ -20,6 +20,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.deadline import Deadline, check_deadline
 from repro.core.mindist import MinDistMemo, compute_mindist, mindist_feasible
 from repro.core.scc import nontrivial_components, strongly_connected_components
 from repro.core.stats import Counters
@@ -109,6 +110,7 @@ def _min_feasible_ii(
     start: int,
     counters: Optional[Counters],
     memo: Optional[MinDistMemo] = None,
+    deadline: Optional[Deadline] = None,
 ) -> int:
     """Smallest II >= start with no positive MinDist diagonal over ``ops``.
 
@@ -118,15 +120,18 @@ def _min_feasible_ii(
     ``memo`` when one is supplied, so no (ops, II) pair is ever
     recomputed — neither within this search (the doubling and
     binary-search phases share one memo) nor by later consumers of the
-    same memo.
+    same memo.  ``deadline`` is checked before every probe (each one is
+    a full Floyd-Warshall pass over the SCC), so a watchdog can stop a
+    pathological doubling search between candidates.
     """
     ops = list(ops)
 
     def feasible(ii: int) -> bool:
         """No positive MinDist diagonal over ``ops`` at this II."""
+        check_deadline(deadline, "mindist doubling search")
         if memo is not None:
-            return memo.feasible(ii, ops, counters)
-        dist, _ = compute_mindist(graph, ii, ops, counters)
+            return memo.feasible(ii, ops, counters, deadline)
+        dist, _ = compute_mindist(graph, ii, ops, counters, deadline)
         return mindist_feasible(dist)
 
     ii = max(1, start)
@@ -176,6 +181,7 @@ def rec_mii(
     counters: Optional[Counters] = None,
     components: Optional[List[List[int]]] = None,
     memo: Optional[MinDistMemo] = None,
+    deadline: Optional[Deadline] = None,
 ) -> int:
     """Recurrence-constrained MII, computed one SCC at a time.
 
@@ -199,7 +205,9 @@ def rec_mii(
                 )
             best = max(best, math.ceil(edge.delay / edge.distance))
     for component in nontrivial_components(components):
-        best = _min_feasible_ii(graph, component, best, counters, memo)
+        best = _min_feasible_ii(
+            graph, component, best, counters, memo, deadline
+        )
     return best
 
 
@@ -227,6 +235,7 @@ def compute_mii(
     counters: Optional[Counters] = None,
     exact: bool = True,
     obs=None,
+    deadline: Optional[Deadline] = None,
 ) -> MIIResult:
     """Compute MII = max(ResMII, RecMII) for a sealed graph.
 
@@ -258,10 +267,12 @@ def compute_mii(
             res_span.set("res_mii", res)
         with obs.span("mii.rec") as rec_span:
             if exact:
-                rec = rec_mii(graph, 1, counters, components, memo)
+                rec = rec_mii(graph, 1, counters, components, memo, deadline)
                 mii = max(res, rec)
             else:
-                mii = rec_mii(graph, res, counters, components, memo)
+                mii = rec_mii(
+                    graph, res, counters, components, memo, deadline
+                )
                 rec = mii
             rec_span.set("rec_mii", rec)
             rec_span.set("mindist_cache_hits", memo.hits)

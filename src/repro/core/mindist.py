@@ -18,6 +18,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.deadline import Deadline, check_deadline
 from repro.core.stats import Counters
 from repro.ir.graph import DependenceGraph
 
@@ -30,6 +31,7 @@ def compute_mindist(
     ii: int,
     ops: Optional[Sequence[int]] = None,
     counters: Optional[Counters] = None,
+    deadline: Optional[Deadline] = None,
 ) -> Tuple[np.ndarray, Dict[int, int]]:
     """Compute the MinDist matrix for ``ops`` (default: all operations).
 
@@ -37,9 +39,15 @@ def compute_mindist(
     index in the graph to its row/column in the matrix.  Only edges with
     both endpoints inside ``ops`` are considered, which is what the
     SCC-at-a-time RecMII computation needs.
+
+    ``deadline`` (a cooperative :class:`repro.core.deadline.Deadline`)
+    is checked once on entry and every 16 Floyd-Warshall pivot rows —
+    this N³ pass is the hot spot a wall-clock watchdog must be able to
+    interrupt (see :mod:`repro.analysis.resilience`).
     """
     if ii < 1:
         raise ValueError(f"II must be >= 1, got {ii}")
+    check_deadline(deadline, "mindist")
     if ops is None:
         ops = range(graph.n_ops)
     ops = list(ops)
@@ -59,6 +67,8 @@ def compute_mindist(
     # Floyd-Warshall in the (max, +) semiring.  The vectorized update
     # performs the same N^3 innermost-loop work the paper counts.
     for k in range(n):
+        if deadline is not None and (k & 15) == 0:
+            deadline.check("mindist")
         via_k = dist[:, k : k + 1] + dist[k : k + 1, :]
         np.maximum(dist, via_k, out=dist)
     if counters is not None:
@@ -97,6 +107,7 @@ class MinDistMemo:
         ii: int,
         ops: Optional[Sequence[int]] = None,
         counters: Optional[Counters] = None,
+        deadline: Optional[Deadline] = None,
     ) -> Tuple[np.ndarray, Dict[int, int]]:
         """Memoized :func:`compute_mindist` over this memo's graph."""
         ops_key = (
@@ -107,7 +118,7 @@ class MinDistMemo:
             self.hits += 1
             return entry
         self.misses += 1
-        entry = compute_mindist(self.graph, ii, ops_key, counters)
+        entry = compute_mindist(self.graph, ii, ops_key, counters, deadline)
         self._entries[(ops_key, ii)] = entry
         return entry
 
@@ -116,9 +127,10 @@ class MinDistMemo:
         ii: int,
         ops: Optional[Sequence[int]] = None,
         counters: Optional[Counters] = None,
+        deadline: Optional[Deadline] = None,
     ) -> bool:
         """Memoized feasibility probe (no positive MinDist diagonal)."""
-        dist, _ = self.mindist(ii, ops, counters)
+        dist, _ = self.mindist(ii, ops, counters, deadline)
         return mindist_feasible(dist)
 
 
@@ -128,6 +140,7 @@ def schedule_length_lower_bound(
     counters: Optional[Counters] = None,
     obs=None,
     memo: Optional[MinDistMemo] = None,
+    deadline: Optional[Deadline] = None,
 ) -> int:
     """MinDist[START, STOP]: the dependence-imposed lower bound on SL.
 
@@ -147,10 +160,14 @@ def schedule_length_lower_bound(
     with obs.span("mindist.bound", ii=ii, n_ops=graph.n_ops) as span:
         if memo is not None and memo.graph is graph:
             before = memo.hits
-            dist, index_map = memo.mindist(ii, counters=counters)
+            dist, index_map = memo.mindist(
+                ii, counters=counters, deadline=deadline
+            )
             span.set("cache_hit", memo.hits > before)
         else:
-            dist, index_map = compute_mindist(graph, ii, counters=counters)
+            dist, index_map = compute_mindist(
+                graph, ii, counters=counters, deadline=deadline
+            )
         value = dist[index_map[graph.START], index_map[graph.stop]]
         bound = 0 if value == NO_PATH else int(value)
         span.set("bound", bound)

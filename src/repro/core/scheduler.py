@@ -28,6 +28,7 @@ import heapq
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.core.deadline import Deadline, check_deadline
 from repro.core.heights import height_r
 from repro.core.mii import MIIResult, compute_mii
 from repro.core.mrt import make_modulo_reservations, resolve_mrt_impl
@@ -38,7 +39,42 @@ from repro.machine.resources import ReservationTable
 
 
 class SchedulingFailure(RuntimeError):
-    """No modulo schedule was found up to the II cap."""
+    """No modulo schedule was found up to the II cap.
+
+    The exception carries the whole search trajectory — every candidate
+    II attempted and the scheduling steps burned at each — so a failure
+    record (or a quarantine entry) is actionable without re-running the
+    scheduler.  It pickles cleanly through worker pools.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        attempted_iis: Optional[List[int]] = None,
+        steps_by_ii: Optional[Dict[int, int]] = None,
+        budget: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.attempted_iis = list(attempted_iis or [])
+        self.steps_by_ii = dict(steps_by_ii or {})
+        self.budget = budget
+
+    def detail(self) -> Dict[str, object]:
+        """JSON-compatible search trajectory for structured failure records."""
+        return {
+            "attempted_iis": list(self.attempted_iis),
+            "steps_by_ii": {
+                str(ii): steps for ii, steps in self.steps_by_ii.items()
+            },
+            "budget_per_ii": self.budget,
+            "steps_total": sum(self.steps_by_ii.values()),
+        }
+
+    def __reduce__(self):
+        return (
+            type(self),
+            (self.args[0], self.attempted_iis, self.steps_by_ii, self.budget),
+        )
 
 
 @dataclass
@@ -149,6 +185,7 @@ class IterativeScheduler:
         priority: str = "heightr",
         trace=None,
         mrt_impl: Optional[str] = None,
+        deadline: Optional[Deadline] = None,
     ) -> None:
         if not graph.sealed:
             raise GraphError(f"graph {graph.name!r} must be sealed")
@@ -157,6 +194,7 @@ class IterativeScheduler:
         self.ii = ii
         self.counters = counters if counters is not None else Counters()
         self.trace = trace
+        self.deadline = deadline
         self.mrt_impl = resolve_mrt_impl(mrt_impl)
         try:
             scheme = PRIORITY_SCHEMES[priority]
@@ -230,6 +268,10 @@ class IterativeScheduler:
         steps += 1
 
         while self._unscheduled and steps < budget:
+            # Cooperative watchdog: one clock read every 32 steps keeps
+            # the overhead unmeasurable while bounding a wedged attempt.
+            if self.deadline is not None and (steps & 31) == 0:
+                self.deadline.check("scheduling")
             op = self._pop_highest_priority()
             estart = self._calculate_early_start(op)
             if self.trace is not None:
@@ -411,6 +453,7 @@ def modulo_schedule(
     trace=None,
     obs=None,
     mrt_impl: Optional[str] = None,
+    deadline: Optional[Deadline] = None,
 ) -> ModuloScheduleResult:
     """ModuloSchedule (Figure 2): find a legal modulo schedule.
 
@@ -457,11 +500,21 @@ def modulo_schedule(
         Reservation-table implementation: ``"mask"`` (the bitmask fast
         path, the default), ``"dict"`` (the original dict-of-cells
         oracle), or ``None`` to consult ``REPRO_MRT_IMPL``.
+    deadline:
+        Optional cooperative :class:`repro.core.deadline.Deadline`.
+        Checked before every II attempt and every 32 operation-scheduling
+        steps within an attempt (and threaded into the MII computation
+        when one happens here); expiry raises
+        :class:`repro.core.deadline.DeadlineExceeded`, which the corpus
+        engine's degradation ladder turns into a fallback schedule.
 
     Raises
     ------
     SchedulingFailure
-        If no schedule is found for any II up to ``max_ii``.
+        If no schedule is found for any II up to ``max_ii``.  The
+        exception records every attempted II and the steps spent on it.
+    repro.core.deadline.DeadlineExceeded
+        If ``deadline`` expires mid-search.
     """
     if budget_ratio < 1.0:
         raise ValueError("budget_ratio below 1 cannot schedule every operation")
@@ -484,18 +537,21 @@ def modulo_schedule(
     counters = counters if counters is not None else Counters()
     if mii_result is None:
         mii_result = compute_mii(
-            graph, machine, counters, exact=exact_mii, obs=obs
+            graph, machine, counters, exact=exact_mii, obs=obs,
+            deadline=deadline,
         )
     if max_ii is None:
         max_ii = default_max_ii(graph, mii_result.mii)
     budget = int(budget_ratio * graph.n_ops)
     attempts = 0
     steps_total = 0
+    steps_by_ii: Dict[int, int] = {}
     ii = mii_result.mii
     with obs.span(
         "schedule", graph=graph.name, style=style, mii=mii_result.mii
     ) as schedule_span:
         while ii <= max_ii:
+            check_deadline(deadline, "modulo_schedule II search")
             attempts += 1
             counters.ii_attempts += 1
             if trace is not None:
@@ -505,9 +561,10 @@ def modulo_schedule(
             with obs.span("schedule.attempt", ii=ii) as attempt_span:
                 scheduler = scheduler_class(
                     graph, machine, ii, counters, priority=priority,
-                    trace=trace, mrt_impl=mrt_impl,
+                    trace=trace, mrt_impl=mrt_impl, deadline=deadline,
                 )
                 attempt = scheduler.run(budget)
+            steps_by_ii[ii] = attempt.steps
             mrt = getattr(scheduler, "_mrt", None)
             if mrt is not None:
                 obs.counter("mrt.conflict_checks").inc(mrt.checks)
@@ -545,5 +602,10 @@ def modulo_schedule(
     obs.counter("sched.failures").inc()
     raise SchedulingFailure(
         f"no modulo schedule for {graph.name!r} with II in "
-        f"[{mii_result.mii}, {max_ii}] at budget_ratio={budget_ratio}"
+        f"[{mii_result.mii}, {max_ii}] at budget_ratio={budget_ratio} "
+        f"({attempts} attempts, budget {budget} steps/II, "
+        f"{steps_total} steps total)",
+        attempted_iis=sorted(steps_by_ii),
+        steps_by_ii=steps_by_ii,
+        budget=budget,
     )

@@ -241,6 +241,34 @@ class TestCache:
         assert again.hits == 0 and again.misses == 1
         assert again.ok
 
+    def test_corruption_is_counted_and_entry_replaced(
+        self, machine, corpus, tmp_path
+    ):
+        """A garbled entry ticks cache_corrupt and is rewritten clean."""
+        engine = EvaluationEngine(machine, cache_dir=tmp_path / "cache")
+        clean = engine.evaluate(corpus[:2])
+        assert clean.cache_corrupt == 0
+        key = engine.key_for(corpus[0])
+        path = engine.cache_path(key)
+        path.write_bytes(path.read_bytes()[:40])  # truncated mid-document
+        again = engine.evaluate(corpus[:2])
+        assert again.cache_corrupt == 1
+        assert again.hits == 1 and again.misses == 1
+        assert again.ok
+        # The rewrite left a loadable entry behind.
+        third = engine.evaluate(corpus[:2])
+        assert third.hits == 2 and third.cache_corrupt == 0
+
+    def test_foreign_document_is_counted_corrupt(
+        self, machine, corpus, tmp_path
+    ):
+        engine = EvaluationEngine(machine, cache_dir=tmp_path / "cache")
+        engine.evaluate(corpus[:1])
+        path = engine.cache_path(engine.key_for(corpus[0]))
+        path.write_text(json.dumps({"format": "someone-elses-cache"}))
+        again = engine.evaluate(corpus[:1])
+        assert again.cache_corrupt == 1 and again.ok
+
     def test_no_cache_flag_bypasses_directory(self, machine, corpus, tmp_path):
         engine = EvaluationEngine(
             machine, cache_dir=tmp_path / "cache", use_cache=False
@@ -314,7 +342,9 @@ class TestTimingReport:
         assert report["n_loops"] == len(corpus)
         assert len(report["loops"]) == len(corpus)
         record = report["loops"][0]
-        assert set(record) == {"index", "loop", "key", "cache_hit", "seconds"}
+        assert set(record) == {
+            "index", "loop", "key", "cache_hit", "seconds", "resumed"
+        }
         assert record["seconds"]["total"] > 0.0
 
     def test_write_and_load_round_trip(self, machine, corpus, tmp_path):

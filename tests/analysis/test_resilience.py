@@ -1,0 +1,632 @@
+"""Fault-tolerant corpus execution, proved end to end by fault injection.
+
+Every resilience mechanism is exercised against the real engine with
+deterministic injected faults (:mod:`repro.analysis.faultinject`): the
+cooperative/SIGALRM watchdog, the pool reaper, crash-isolated retries,
+the degradation ladder, cache-corruption recovery, checkpoint/resume and
+the quarantine.  The load-bearing property throughout: after transient
+faults are retried away, results are *bit-identical* to a clean run.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import time
+
+import pytest
+
+import repro.analysis.engine as engine_module
+from repro.analysis.engine import (
+    EvaluationEngine,
+    LoopFailure,
+    _WatchdogAlarm,
+    evaluation_to_dict,
+)
+from repro.analysis.faultinject import (
+    ExoticError,
+    FaultPlan,
+    FaultSpecError,
+    InjectedTransientError,
+    NULL_PLAN,
+    parse_fault_spec,
+)
+from repro.analysis.resilience import (
+    DETERMINISTIC,
+    Deadline,
+    DeadlineExceeded,
+    RESOURCE,
+    ResultJournal,
+    RetryPolicy,
+    TRANSIENT,
+    classify_failure,
+    load_quarantine,
+    write_quarantine,
+)
+from repro.core.mindist import compute_mindist
+from repro.core.scheduler import SchedulingFailure, modulo_schedule
+from repro.machine import cydra5
+from repro.obs.context import ObsContext
+from repro.workloads import build_corpus
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return cydra5()
+
+
+@pytest.fixture(scope="module")
+def corpus(machine):
+    return build_corpus(machine, n_synthetic=4, seed=3, include_kernels=False)
+
+
+def _bytes_of(result, machine):
+    """Canonical serialized records — the bit-identity yardstick."""
+    return [
+        json.dumps(evaluation_to_dict(e, machine), sort_keys=True)
+        for e in result.evaluations
+    ]
+
+
+@pytest.fixture(scope="module")
+def clean(machine, corpus):
+    """A fault-free reference run (serial, no cache)."""
+    result = EvaluationEngine(machine, fault_plan=NULL_PLAN).evaluate(corpus)
+    assert result.ok
+    return result
+
+
+# ----------------------------------------------------------------------
+# Policy units
+
+
+def _expired_deadline():
+    deadline = Deadline(1e-6)
+    time.sleep(0.002)
+    return deadline
+
+
+class TestDeadline:
+    def test_fresh_deadline_has_time(self):
+        deadline = Deadline(60.0)
+        assert not deadline.expired
+        assert deadline.remaining() > 0
+        deadline.check("anywhere")  # no raise
+
+    def test_expired_deadline_raises_with_location(self):
+        deadline = _expired_deadline()
+        assert deadline.expired
+        with pytest.raises(DeadlineExceeded, match="mindist"):
+            deadline.check("mindist")
+
+    def test_nonpositive_budget_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline(0.0)
+
+    def test_threads_through_mindist(self, machine, corpus):
+        graph = corpus[0].graph
+        with pytest.raises(DeadlineExceeded):
+            compute_mindist(graph, 1, deadline=_expired_deadline())
+
+    def test_threads_through_modulo_schedule(self, machine, corpus):
+        with pytest.raises(DeadlineExceeded):
+            modulo_schedule(
+                corpus[0].graph, machine, deadline=_expired_deadline()
+            )
+
+    def test_watchdog_alarm_backstop(self):
+        started = time.monotonic()
+        with pytest.raises(DeadlineExceeded, match="SIGALRM"):
+            with _WatchdogAlarm(0.05):
+                time.sleep(5.0)
+        assert time.monotonic() - started < 2.0
+
+
+class TestTaxonomy:
+    @pytest.mark.parametrize(
+        "error_type,kind",
+        [
+            ("WorkerCrash", TRANSIENT),
+            ("WorkerHang", TRANSIENT),
+            ("BrokenProcessPool", TRANSIENT),
+            ("InjectedTransientError", TRANSIENT),
+            ("DeadlineExceeded", RESOURCE),
+            ("MemoryError", RESOURCE),
+            ("GraphError", DETERMINISTIC),
+            ("SchedulingFailure", DETERMINISTIC),
+            ("VerificationError", DETERMINISTIC),
+            ("NeverHeardOfThisError", DETERMINISTIC),
+        ],
+    )
+    def test_classification(self, error_type, kind):
+        assert classify_failure(error_type) == kind
+
+    def test_deterministic_failures_never_retry(self):
+        policy = RetryPolicy(max_retries=5)
+        assert not policy.should_retry(DETERMINISTIC, 0)
+        assert policy.should_retry(TRANSIENT, 0)
+        assert policy.should_retry(RESOURCE, 4)
+        assert not policy.should_retry(TRANSIENT, 5)
+
+    def test_backoff_is_capped_exponential(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_cap=0.35)
+        assert policy.delay(0) == pytest.approx(0.1)
+        assert policy.delay(1) == pytest.approx(0.2)
+        assert policy.delay(3) == pytest.approx(0.35)
+
+
+class TestFaultSpec:
+    def test_round_trips(self):
+        plan = parse_fault_spec("crash@3;hang@5:60;raise@4:exotic!;corrupt@2")
+        assert plan.spec() == "crash@3;hang@5:60;raise@4:exotic!;corrupt@2"
+        assert plan.corrupts_cache(2) and not plan.corrupts_cache(3)
+        assert [d.kind for d in plan.for_loop(3)] == ["crash"]
+        assert plan.for_loop(2) == ()  # corrupt is engine-side
+
+    def test_transient_fires_on_first_attempt_only(self):
+        directive = parse_fault_spec("crash@0").directives[0]
+        assert directive.fires(0) and not directive.fires(1)
+        persistent = parse_fault_spec("crash@0!").directives[0]
+        assert persistent.fires(0) and persistent.fires(7)
+
+    @pytest.mark.parametrize(
+        "bad", ["wedge@1", "crash", "crash@x", "raise@1:NoSuchError"]
+    )
+    def test_bad_specs_rejected(self, bad):
+        with pytest.raises(FaultSpecError):
+            parse_fault_spec(bad)
+
+    def test_from_env(self):
+        plan = FaultPlan.from_env({"REPRO_FAULT_INJECT": "slow@1:0.5"})
+        assert plan and plan.directives[0].kind == "slow"
+        assert not FaultPlan.from_env({})
+
+
+class TestJournal:
+    def test_append_load_round_trip(self, tmp_path):
+        journal = ResultJournal(tmp_path / "j.jsonl")
+        with journal:
+            journal.append("k1", 0, "a", payload={"format": "x", "ii": 3})
+            journal.append("k2", 1, "b", failure={"error_type": "Boom"})
+            journal.append("k1", 0, "a", payload={"format": "x", "ii": 4})
+        records = journal.load()
+        assert set(records) == {"k1", "k2"}
+        assert records["k1"]["payload"]["ii"] == 4  # latest wins
+        assert not records["k2"]["ok"]
+        assert journal.completed_payloads() == {"k1": {"format": "x", "ii": 4}}
+
+    def test_truncated_tail_is_tolerated(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with ResultJournal(path) as journal:
+            journal.append("k1", 0, "a", payload={"format": "x"})
+            journal.append("k2", 1, "b", payload={"format": "x"})
+        # Simulate the crash-interrupted write: clip the last line.
+        text = path.read_text()
+        path.write_text(text[: text.rindex("\n", 0, len(text) - 1) + 1 + 10])
+        records = ResultJournal(path).load()
+        assert set(records) == {"k1"}
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert ResultJournal(tmp_path / "absent.jsonl").load() == {}
+
+
+class TestQuarantine:
+    def test_write_load_round_trip(self, tmp_path):
+        path = tmp_path / "quarantine.json"
+        entries = [{"loop": "bad", "kind": DETERMINISTIC, "detail": {}}]
+        write_quarantine(path, "cydra5", entries)
+        assert load_quarantine(path) == entries
+
+    def test_written_even_when_empty(self, tmp_path):
+        path = write_quarantine(tmp_path / "q.json", "cydra5", [])
+        assert load_quarantine(path) == []
+
+    def test_foreign_document_rejected(self, tmp_path):
+        path = tmp_path / "q.json"
+        path.write_text(json.dumps({"format": "other"}))
+        with pytest.raises(ValueError):
+            load_quarantine(path)
+
+
+class TestFailurePickling:
+    def test_scheduling_failure_survives_pickle(self):
+        failure = SchedulingFailure(
+            "no schedule", attempted_iis=[4, 5, 6],
+            steps_by_ii={4: 60, 5: 60, 6: 12}, budget=60,
+        )
+        clone = pickle.loads(pickle.dumps(failure))
+        assert clone.attempted_iis == [4, 5, 6]
+        assert clone.detail()["budget_per_ii"] == 60
+        assert clone.detail()["steps_total"] == 132
+        assert clone.detail()["attempted_iis"] == [4, 5, 6]
+
+    def test_loop_failure_record_survives_pickle(self):
+        failure = LoopFailure(
+            index=3, loop_name="l", phase="scheduling",
+            error_type="ExoticError", message="exotic failure code=13",
+            kind=DETERMINISTIC, attempts=1, detail={"code": 13},
+        )
+        clone = pickle.loads(pickle.dumps(failure))
+        assert clone == failure
+
+    def test_exotic_error_itself_refuses_pickle(self):
+        with pytest.raises(TypeError):
+            pickle.dumps(ExoticError(13, {}))
+
+
+# ----------------------------------------------------------------------
+# End-to-end fault injection
+
+
+class TestTransientRetries:
+    def test_serial_transient_is_retried_to_identical_result(
+        self, machine, corpus, clean
+    ):
+        engine = EvaluationEngine(
+            machine, fault_plan=parse_fault_spec("raise@1:transient")
+        )
+        result = engine.evaluate(corpus)
+        assert result.ok
+        assert result.retries == 1
+        assert _bytes_of(result, machine) == _bytes_of(clean, machine)
+        assert result.counters.snapshot() == clean.counters.snapshot()
+
+    def test_serial_crash_analogue_is_recoverable(
+        self, machine, corpus, clean
+    ):
+        # In-process a crash degrades to a transient exception (killing
+        # the caller would defeat the harness); still retried away.
+        engine = EvaluationEngine(
+            machine, fault_plan=parse_fault_spec("crash@0")
+        )
+        result = engine.evaluate(corpus)
+        assert result.ok and result.retries == 1
+        assert _bytes_of(result, machine) == _bytes_of(clean, machine)
+
+    def test_pool_crash_is_salvaged_and_retried(
+        self, machine, corpus, clean
+    ):
+        engine = EvaluationEngine(
+            machine, jobs=2, fault_plan=parse_fault_spec("crash@1")
+        )
+        result = engine.evaluate(corpus)
+        assert result.ok
+        assert result.crashes >= 1 and result.retries >= 1
+        assert any("pool broke" in note for note in result.diagnostics)
+        assert _bytes_of(result, machine) == _bytes_of(clean, machine)
+
+    def test_retry_budget_exhaustion_quarantines(
+        self, machine, corpus, tmp_path
+    ):
+        quarantine = tmp_path / "quarantine.json"
+        engine = EvaluationEngine(
+            machine,
+            retry_policy=RetryPolicy(max_retries=1, backoff_base=0.0),
+            quarantine_path=quarantine,
+            fault_plan=parse_fault_spec("raise@2:transient!"),
+        )
+        result = engine.evaluate(corpus)
+        assert not result.ok and len(result.failures) == 1
+        failure = result.failures[0]
+        assert failure.kind == TRANSIENT
+        assert failure.attempts == 2  # original + one retry
+        assert result.quarantined == 1
+        entries = load_quarantine(quarantine)
+        assert entries[0]["loop"] == corpus[2].name
+        assert entries[0]["attempts"] == 2
+
+    def test_deterministic_failure_is_never_retried(
+        self, machine, corpus, tmp_path
+    ):
+        engine = EvaluationEngine(
+            machine,
+            quarantine_path=tmp_path / "q.json",
+            fault_plan=parse_fault_spec("raise@0:ValueError!"),
+        )
+        result = engine.evaluate(corpus)
+        assert result.retries == 0
+        assert result.failures[0].kind == DETERMINISTIC
+        assert result.failures[0].attempts == 1
+
+    def test_exotic_exception_cannot_poison_the_pool(
+        self, machine, corpus
+    ):
+        # ExoticError's instances refuse to pickle; the worker must
+        # reduce it to a structured record before it rides back.
+        engine = EvaluationEngine(
+            machine, jobs=2, fault_plan=parse_fault_spec("raise@0:exotic!")
+        )
+        result = engine.evaluate(corpus)
+        assert len(result.evaluations) == len(corpus) - 1
+        failure = result.failures[0]
+        assert failure.error_type == "ExoticError"
+        assert "exotic failure code=13" in failure.message
+        assert failure.kind == DETERMINISTIC
+
+
+class TestWatchdogAndReaper:
+    def test_slow_loop_times_out_and_retry_succeeds(
+        self, machine, corpus, clean
+    ):
+        engine = EvaluationEngine(
+            machine,
+            loop_timeout=0.2,
+            degrade=False,
+            retry_policy=RetryPolicy(max_retries=1, backoff_base=0.0),
+            fault_plan=parse_fault_spec("slow@0:5"),
+        )
+        result = engine.evaluate(corpus)
+        assert result.ok
+        assert result.timeouts == 1 and result.retries == 1
+        assert _bytes_of(result, machine) == _bytes_of(clean, machine)
+
+    def test_hung_worker_is_reaped_and_loop_retried(
+        self, machine, corpus, clean
+    ):
+        # The injected hang ignores SIGALRM, so only the pool-side
+        # reaper can recover the worker.
+        engine = EvaluationEngine(
+            machine,
+            jobs=2,
+            loop_timeout=0.2,
+            reap_after=1.0,
+            retry_policy=RetryPolicy(max_retries=2, backoff_base=0.0),
+            fault_plan=parse_fault_spec("hang@1:30"),
+        )
+        started = time.monotonic()
+        result = engine.evaluate(corpus)
+        assert time.monotonic() - started < 25.0
+        assert result.ok
+        assert result.reaped >= 1
+        assert any("reaper" in note for note in result.diagnostics)
+        assert _bytes_of(result, machine) == _bytes_of(clean, machine)
+
+
+class TestDegradationLadder:
+    def test_deadline_exhaustion_degrades_to_relaxed_ims(
+        self, machine, corpus
+    ):
+        engine = EvaluationEngine(
+            machine,
+            loop_timeout=0.2,
+            retry_policy=RetryPolicy(max_retries=0),
+            fault_plan=parse_fault_spec("slow@0:5!"),
+        )
+        result = engine.evaluate(corpus)
+        assert result.ok
+        assert result.degraded == 1
+        evaluation = result.evaluations[0]
+        assert evaluation.degraded
+        assert evaluation.degradation_level == 1
+        assert evaluation.degradation["name"] == "relaxed-ims"
+        assert evaluation.degradation["reason"] == "DeadlineExceeded"
+        # A legal (if worse) modulo schedule was still produced.
+        assert evaluation.ii >= 1
+
+    def test_deadline_degradation_is_not_cached(
+        self, machine, corpus, tmp_path
+    ):
+        engine = EvaluationEngine(
+            machine,
+            cache_dir=tmp_path / "cache",
+            loop_timeout=0.2,
+            retry_policy=RetryPolicy(max_retries=0),
+            fault_plan=parse_fault_spec("slow@0:5!"),
+        )
+        first = engine.evaluate(corpus)
+        assert first.degraded == 1
+        # Wall-clock outcomes must not be resurrected: the degraded
+        # loop misses again, the clean loops hit.
+        second = engine.evaluate(corpus)
+        assert second.hits == len(corpus) - 1
+        assert second.misses == 1
+
+    def test_budget_exhaustion_walks_to_list_fallback(
+        self, machine, corpus, tmp_path, monkeypatch
+    ):
+        calls = {"n": 0}
+        real = engine_module.modulo_schedule
+
+        def always_out_of_budget(graph, machine_, **kwargs):
+            calls["n"] += 1
+            raise SchedulingFailure(
+                "out of budget", attempted_iis=[2, 3],
+                steps_by_ii={2: 9, 3: 9}, budget=9,
+            )
+
+        monkeypatch.setattr(
+            engine_module, "modulo_schedule", always_out_of_budget
+        )
+        engine = EvaluationEngine(
+            machine, cache_dir=tmp_path / "cache", fault_plan=NULL_PLAN
+        )
+        result = engine.evaluate(corpus[:1])
+        assert result.ok and result.degraded == 1
+        evaluation = result.evaluations[0]
+        assert evaluation.degradation_level == 2
+        assert evaluation.degradation["name"] == "list-fallback"
+        assert evaluation.degradation["reason"] == "SchedulingFailure"
+        assert evaluation.degradation["detail"]["attempted_iis"] == [2, 3]
+        assert evaluation.degradation["detail"]["budget_per_ii"] == 9
+        assert "relaxed_error" in evaluation.degradation
+        assert evaluation.result.budget_ratio == 0.0
+        assert calls["n"] == 2  # rung 0 and rung 1 both tried
+        # Budget exhaustion is deterministic, so the fallback is cached.
+        monkeypatch.setattr(engine_module, "modulo_schedule", real)
+        warm = engine.evaluate(corpus[:1])
+        assert warm.hits == 1
+        assert warm.evaluations[0].degradation_level == 2
+
+    def test_no_degrade_surfaces_budget_detail(
+        self, machine, corpus, monkeypatch
+    ):
+        def always_out_of_budget(graph, machine_, **kwargs):
+            raise SchedulingFailure(
+                "out of budget", attempted_iis=[2], steps_by_ii={2: 9},
+                budget=9,
+            )
+
+        monkeypatch.setattr(
+            engine_module, "modulo_schedule", always_out_of_budget
+        )
+        engine = EvaluationEngine(machine, degrade=False, fault_plan=NULL_PLAN)
+        result = engine.evaluate(corpus[:1])
+        assert not result.ok
+        failure = result.failures[0]
+        assert failure.error_type == "SchedulingFailure"
+        assert failure.kind == DETERMINISTIC
+        assert failure.detail["attempted_iis"] == [2]
+        assert failure.detail["budget_per_ii"] == 9
+
+
+class TestCorruptionInjection:
+    def test_injected_corruption_is_recovered_next_run(
+        self, machine, corpus, tmp_path, clean
+    ):
+        cache = tmp_path / "cache"
+        poisoned = EvaluationEngine(
+            machine, cache_dir=cache,
+            fault_plan=parse_fault_spec("corrupt@0"),
+        )
+        first = poisoned.evaluate(corpus)
+        assert first.ok and first.cache_corrupt == 0
+
+        healthy = EvaluationEngine(machine, cache_dir=cache,
+                                   fault_plan=NULL_PLAN)
+        second = healthy.evaluate(corpus)
+        assert second.cache_corrupt == 1
+        assert second.hits == len(corpus) - 1 and second.misses == 1
+        assert second.ok
+        assert _bytes_of(second, machine) == _bytes_of(clean, machine)
+
+
+class TestCheckpointResume:
+    def test_resume_skips_journaled_loops(self, machine, corpus, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        first = EvaluationEngine(
+            machine, journal_path=journal, fault_plan=NULL_PLAN
+        ).evaluate(corpus[:2])
+        assert first.ok
+
+        # "Restart" over the full corpus: only the unfinished loops run.
+        obs = ObsContext()
+        resumed = EvaluationEngine(
+            machine, journal_path=journal, resume=True, obs=obs,
+            fault_plan=NULL_PLAN,
+        ).evaluate(corpus)
+        assert resumed.ok
+        assert resumed.resume_skipped == 2
+        assert resumed.misses == len(corpus) - 2
+        assert [t.resumed for t in resumed.timings] == (
+            [True, True] + [False] * (len(corpus) - 2)
+        )
+        assert (
+            obs.metrics.snapshot()["counters"]["engine.resume.skipped"] == 2
+        )
+
+        clean = EvaluationEngine(machine, fault_plan=NULL_PLAN).evaluate(
+            corpus
+        )
+        assert _bytes_of(resumed, machine) == _bytes_of(clean, machine)
+
+    def test_mid_run_kill_leaves_a_resumable_journal(
+        self, machine, corpus, tmp_path
+    ):
+        # Simulate dying mid-run: keep only the journal prefix plus a
+        # torn final line, exactly what fsync-per-record guarantees.
+        journal = tmp_path / "journal.jsonl"
+        EvaluationEngine(
+            machine, journal_path=journal, fault_plan=NULL_PLAN
+        ).evaluate(corpus)
+        lines = journal.read_text().splitlines(keepends=True)
+        journal.write_text("".join(lines[:2]) + lines[2][:25])
+
+        resumed = EvaluationEngine(
+            machine, journal_path=journal, resume=True, fault_plan=NULL_PLAN
+        ).evaluate(corpus)
+        assert resumed.ok
+        assert resumed.resume_skipped == 2
+        assert resumed.misses == len(corpus) - 2
+
+    def test_resume_without_journal_is_an_error(self, machine):
+        with pytest.raises(ValueError, match="journal"):
+            EvaluationEngine(machine, resume=True)
+
+    def test_config_change_invalidates_journal_records(
+        self, machine, corpus, tmp_path
+    ):
+        journal = tmp_path / "journal.jsonl"
+        EvaluationEngine(
+            machine, journal_path=journal, fault_plan=NULL_PLAN
+        ).evaluate(corpus[:2])
+        # Different budget ratio -> different content-addressed keys ->
+        # nothing resumes, nothing stale is served.
+        other = EvaluationEngine(
+            machine, budget_ratio=2.0, journal_path=journal, resume=True,
+            fault_plan=NULL_PLAN,
+        ).evaluate(corpus[:2])
+        assert other.resume_skipped == 0
+        assert other.misses == 2
+
+
+class TestObsIdentityUnderFaults:
+    def test_metrics_identical_after_transient_retry(self, machine, corpus):
+        def run(plan):
+            obs = ObsContext()
+            EvaluationEngine(machine, obs=obs, fault_plan=plan).evaluate(
+                corpus
+            )
+            return obs.metrics.snapshot()
+
+        clean = run(NULL_PLAN)
+        faulted = run(parse_fault_spec("raise@1:transient"))
+        assert "resilience.retries" in faulted["counters"]
+        for kind in ("counters", "gauges", "histograms"):
+            filtered = {
+                name: value
+                for name, value in faulted[kind].items()
+                if not name.startswith("resilience.")
+            }
+            assert filtered == clean[kind]
+
+    def test_clean_run_has_no_resilience_metrics(self, machine, corpus):
+        obs = ObsContext()
+        EvaluationEngine(machine, obs=obs, fault_plan=NULL_PLAN).evaluate(
+            corpus
+        )
+        names = list(obs.metrics.snapshot()["counters"])
+        assert not [n for n in names if n.startswith("resilience.")]
+        assert "engine.resume.skipped" not in names
+        assert "cache.corrupt" not in names
+
+
+class TestCli:
+    def test_corpus_resilience_flags(self, machine, tmp_path, capsys):
+        import io
+
+        from repro.cli import main
+
+        out = io.StringIO()
+        code = main(
+            [
+                "corpus", "--loops", "4", "--seed", "3", "--jobs", "1",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--loop-timeout", "60", "--retries", "1",
+            ],
+            out=out,
+        )
+        assert code == 0
+        assert "engine:" in out.getvalue()
+        assert (tmp_path / "cache" / "journal.jsonl").is_file()
+        assert (tmp_path / "cache" / "quarantine.json").is_file()
+
+    def test_corpus_resume_without_journal_exits_2(self, tmp_path):
+        import io
+
+        from repro.cli import main
+
+        code = main(
+            ["corpus", "--loops", "4", "--no-cache", "--resume"],
+            out=io.StringIO(),
+        )
+        assert code == 2
