@@ -102,13 +102,13 @@ from repro.workloads.corpus import CorpusLoop
 #: whenever the meaning of a cached payload changes (new measurements, a
 #: scheduler fix that alters results, a payload schema change) so stale
 #: entries are never resurrected.
-CODE_FORMAT_VERSION = 2  # v2: Counters gained ops_forced (obs layer)
+CODE_FORMAT_VERSION = 3  # v3: schedule payloads carry the modulo flag
 
 _PAYLOAD_FORMAT = "repro.loop-evaluation.v1"
 TIMING_FORMAT = "repro.engine-timing.v1"
 
 #: The per-loop phases the engine accounts for.
-PHASES = ("mindist", "scheduling", "codegen", "simulation")
+PHASES = ("mindist", "scheduling", "codegen", "check", "simulation")
 
 #: Budget ratio of the ladder's relaxed rung: the legal floor, where each
 #: operation is scheduled ~once per candidate II and II escalates fast.
@@ -117,6 +117,25 @@ RELAXED_BUDGET_RATIO = 1.0
 
 class VerificationError(RuntimeError):
     """The pipelined schedule disagreed with the sequential oracle."""
+
+
+class StaticCheckError(RuntimeError):
+    """The independent static validator rejected a schedule (strict mode).
+
+    Carries the full diagnostics set; :meth:`detail` surfaces it as the
+    ``repro.check.v1`` document on the :class:`LoopFailure` record.
+    """
+
+    def __init__(self, diagnostics) -> None:
+        super().__init__(
+            "; ".join(d.describe() for d in diagnostics.errors[:5])
+            or "static check failed"
+        )
+        self.diagnostics = diagnostics
+
+    def detail(self) -> Dict[str, Any]:
+        """Structured context for the failure record."""
+        return self.diagnostics.to_dict()
 
 
 # ----------------------------------------------------------------------
@@ -467,6 +486,7 @@ class _LoopTask:
     faults: Tuple[FaultDirective, ...]
     in_pool: bool
     index: int
+    check: bool = False
 
 
 class _WatchdogAlarm:
@@ -681,6 +701,33 @@ def _evaluate_loop_task(task: "_LoopTask") -> Dict[str, Any]:
                 degradation=degradation,
             )
             payload = evaluation_to_dict(evaluation, task.machine)
+            if task.check:
+                # Strict mode: the independent validator re-derives every
+                # constraint before the payload may be cached — degraded
+                # (relaxed-IMS and list-fallback) schedules included.
+                phase_box[0] = "check"
+                with timer.phase("check"), obs.span(
+                    "check", loop=task.loop.name
+                ) as check_span:
+                    from repro.check import check_schedule
+
+                    diags = check_schedule(
+                        task.loop.graph,
+                        task.machine,
+                        result.schedule,
+                        codegen=True,
+                    )
+                    check_span.set("findings", len(diags))
+                obs.counter("check.schedules").inc()
+                if len(diags):
+                    obs.counter("check.findings").inc(len(diags))
+                if not diags.ok:
+                    obs.counter("check.rejected").inc()
+                    raise StaticCheckError(diags)
+                payload["check"] = {
+                    "ok": True,
+                    "warnings": len(diags.warnings),
+                }
             if task.verify_iterations > 0 and task.loop.lowered is not None:
                 phase_box[0] = "codegen"
                 with timer.phase("codegen"):
@@ -791,6 +838,15 @@ class EvaluationEngine:
         runs code generation and ``verify_iterations`` iterations of the
         cycle-level simulator against the sequential oracle; a mismatch
         becomes a :class:`LoopFailure` with phase ``"simulation"``.
+    check:
+        Strict static-validation mode.  Every schedule — including the
+        degradation ladder's relaxed-IMS and list-fallback outputs — is
+        re-validated from first principles by :mod:`repro.check` before
+        its payload is cached; an error-severity finding becomes a
+        :class:`LoopFailure` with phase ``"check"`` carrying the full
+        ``repro.check.v1`` diagnostics document.  Cache hits and resumed
+        journal payloads are re-validated too (the validator is the
+        corruption detector), at a few milliseconds per loop.
     obs:
         Optional :class:`repro.obs.ObsContext`.  When given, the run is
         traced end to end: a ``corpus.evaluate`` root span, a per-loop
@@ -840,6 +896,7 @@ class EvaluationEngine:
         cache_dir=None,
         use_cache: bool = True,
         verify_iterations: int = 0,
+        check: bool = False,
         obs=None,
         loop_timeout: Optional[float] = None,
         retry_policy: Optional[RetryPolicy] = None,
@@ -859,6 +916,7 @@ class EvaluationEngine:
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.use_cache = use_cache
         self.verify_iterations = verify_iterations
+        self.check = bool(check)
         self.obs = obs if obs is not None else NULL_OBS
         self.loop_timeout = float(loop_timeout) if loop_timeout else None
         self.retry_policy = (
@@ -945,6 +1003,51 @@ class EvaluationEngine:
             return None
         return data
 
+    def _payload_checks(self, payload: Dict[str, Any], loop: CorpusLoop) -> bool:
+        """Strict mode: re-validate a stored payload's schedule.
+
+        The times, II and alternative choices are taken verbatim from the
+        payload — they are what the store holds, so a bit flip that
+        survived JSON parsing or a stale entry from a buggy scheduler
+        build surfaces here as a rejected payload.  The graph comes from
+        the live ``loop`` (graph identity is already part of the cache
+        key, so a divergent graph can never be served for this key), and
+        the codegen cross-checks are skipped: codegen artifacts are not
+        stored but re-derived from the schedule, and the fresh-evaluation
+        path validated that derivation when the entry was written.
+        """
+        try:
+            from repro.check import check_schedule
+            from repro.core.schedule import Schedule
+
+            data = payload["schedule"]
+            times = {int(op): t for op, t in data["times"].items()}
+            alternatives = {}
+            for op_text, alt_name in data["alternatives"].items():
+                op = int(op_text)
+                if alt_name is None:
+                    alternatives[op] = None
+                    continue
+                opcode = self.machine.opcode(loop.graph.operation(op).opcode)
+                matches = [
+                    a for a in opcode.alternatives if a.name == alt_name
+                ]
+                if not matches:
+                    return False
+                alternatives[op] = matches[0]
+            schedule = Schedule(
+                loop.graph,
+                data["ii"],
+                times,
+                alternatives,
+                modulo=data.get("modulo", True),
+            )
+            diags = check_schedule(loop.graph, self.machine, schedule)
+        except Exception:
+            return False
+        self.obs.counter("check.schedules").inc()
+        return diags.ok
+
     def _cache_write(self, key: str, payload: Dict[str, Any]) -> None:
         """Atomically persist a payload (write-to-temp, then rename)."""
         path = self.cache_path(key)
@@ -1005,15 +1108,37 @@ class EvaluationEngine:
                     and record.get("ok")
                     and isinstance(record.get("payload"), dict)
                 ):
-                    payloads[index] = record["payload"]
-                    resumed_flags[index] = True
-                    seconds[index] = {"total": 0.0}
-                    stats.resume_skipped += 1
-                    continue
+                    if self.check and not self._payload_checks(
+                        record["payload"], corpus[index]
+                    ):
+                        stats.diagnostics.append(
+                            f"resume: journaled payload for "
+                            f"{corpus[index].name} failed the static "
+                            "check; re-evaluating"
+                        )
+                        obs.counter("check.rejected").inc()
+                    else:
+                        payloads[index] = record["payload"]
+                        resumed_flags[index] = True
+                        seconds[index] = {"total": 0.0}
+                        stats.resume_skipped += 1
+                        continue
                 if self.caching:
                     load_started = time.perf_counter()
                     with obs.span("cache.load", loop=corpus[index].name):
                         payload = self._cache_read(key, stats)
+                    if payload is not None and self.check:
+                        # Strict mode treats a hit that fails the
+                        # validator as a corrupt entry: drop it and
+                        # re-evaluate (which re-checks the fresh result).
+                        if not self._payload_checks(payload, corpus[index]):
+                            stats.cache_corrupt += 1
+                            obs.counter("check.rejected").inc()
+                            try:
+                                self.cache_path(key).unlink()
+                            except OSError:
+                                pass
+                            payload = None
                     if payload is not None:
                         elapsed = time.perf_counter() - load_started
                         payloads[index] = payload
@@ -1198,6 +1323,7 @@ class EvaluationEngine:
             faults=self.fault_plan.for_loop(index),
             in_pool=in_pool,
             index=index,
+            check=self.check,
         )
 
     @staticmethod

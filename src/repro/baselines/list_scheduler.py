@@ -149,7 +149,10 @@ def list_schedule(
             f"{graph.n_ops} operations"
         )
     length = times[graph.stop]
-    return Schedule(graph, max(1, length), times, alts)
+    # modulo=False: the reservations above are linear, so validators must
+    # not fold them at t mod II — at II = SL a trailing resource use would
+    # wrap onto cycle 0 and report a conflict the execution never has.
+    return Schedule(graph, max(1, length), times, alts, modulo=False)
 
 
 def list_schedule_length(

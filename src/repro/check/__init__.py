@@ -1,0 +1,65 @@
+"""Static verification and linting (the repo's second correctness oracle).
+
+The :mod:`repro.check` package re-derives, from first principles, the
+constraints a legal modulo schedule must satisfy — dependence-edge
+inequalities, conflict-free modulo reservation tables, codegen artifact
+invariants — and lints dependence graphs, machine descriptions, and
+MinDist matrices for structural mistakes.  It deliberately shares *no*
+conflict-probe code with the scheduler's bitmask fast path
+(:class:`repro.machine.CompiledMaskSet`): occupancy is rebuilt from the
+raw reservation tables, so a bug in the compiled masks is caught here
+rather than inherited.
+
+Entry points
+------------
+* :func:`check_schedule` — the independent schedule validator.
+* :func:`check_codegen` — cross-checks MVE / rotating-register /
+  prologue-epilogue artifacts against the schedule.
+* :func:`lint_graph`, :func:`lint_machine`, :func:`lint_mindist` — the
+  pass-registry linters.
+* :class:`Diagnostics` / :class:`Diagnostic` — the structured findings
+  every checker emits, with stable codes (``SCHED001``, ``MACH003``, …).
+
+See ``docs/CHECKING.md`` for the full code catalogue and how the static
+validator relates to the simulator oracle.
+"""
+
+from repro.check.diagnostics import (
+    CODES,
+    Diagnostic,
+    Diagnostics,
+    Severity,
+    SourceLocation,
+    apply_waivers,
+    parse_waivers,
+    render_human,
+    waivers_in_source,
+)
+from repro.check.lint import (
+    LintPass,
+    lint_graph,
+    lint_machine,
+    lint_mindist,
+    registered_passes,
+)
+from repro.check.validate import check_schedule
+from repro.check.codegen import check_codegen
+
+__all__ = [
+    "CODES",
+    "Diagnostic",
+    "Diagnostics",
+    "LintPass",
+    "Severity",
+    "SourceLocation",
+    "apply_waivers",
+    "check_codegen",
+    "check_schedule",
+    "lint_graph",
+    "lint_machine",
+    "lint_mindist",
+    "parse_waivers",
+    "registered_passes",
+    "render_human",
+    "waivers_in_source",
+]

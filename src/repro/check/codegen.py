@@ -1,0 +1,336 @@
+"""Codegen artifact cross-checks (``CODE001``–``CODE006``).
+
+Given a modulo schedule and the artifacts built from it — the MVE-expanded
+kernel, the rotating-register allocation, the explicit prologue / kernel /
+epilogue layout — these checks re-derive what each artifact *must* look
+like from the schedule alone and compare:
+
+* value lifetimes are recomputed here (producer issue to last flow read,
+  ``t(Q) + II * distance``), not imported from :mod:`repro.codegen`;
+* the MVE unroll degree must cover the longest lifetime
+  (``ceil(lifetime / II)``);
+* a rotating block of ``width`` registers is overwritten every
+  ``width * II`` cycles, so every lifetime must fit and every
+  cross-iteration read distance must stay inside the block;
+* prologue and epilogue must contain exactly the operation instances the
+  ramp equations predict: ``sum(SC - 1 - stage)`` filling instances and
+  ``sum(stage)`` draining ones, each in its exact row.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.check.diagnostics import Diagnostics
+from repro.core.schedule import Schedule
+from repro.ir.edges import DependenceKind
+from repro.ir.graph import DependenceGraph
+
+
+def _value_lifetimes(
+    graph: DependenceGraph, schedule: Schedule
+) -> Dict[int, Tuple[int, int]]:
+    """Recompute ``op -> (start, end)`` lifetimes from first principles."""
+    lifetimes: Dict[int, Tuple[int, int]] = {}
+    ii = schedule.ii
+    for operation in graph.real_operations():
+        if operation.dest is None:
+            continue
+        op = operation.index
+        start = schedule.times[op]
+        end = start + graph.latency(op)
+        for edge in graph.succ_edges(op):
+            if edge.kind is not DependenceKind.FLOW:
+                continue
+            if graph.operation(edge.succ).is_pseudo:
+                continue
+            end = max(end, schedule.times[edge.succ] + ii * edge.distance)
+        lifetimes[op] = (start, end)
+    return lifetimes
+
+
+def check_codegen(
+    graph: DependenceGraph,
+    schedule: Schedule,
+    *,
+    kernel=None,
+    allocation=None,
+    code=None,
+    unit: Optional[str] = None,
+    diagnostics: Optional[Diagnostics] = None,
+) -> Diagnostics:
+    """Cross-check codegen artifacts against ``schedule``.
+
+    Artifacts not supplied are built with the production codegen modules
+    and then verified independently (translation validation: the checker
+    trusts the schedule, never the builder).
+    """
+    diags = diagnostics if diagnostics is not None else Diagnostics()
+    unit = unit if unit is not None else f"loop {graph.name!r}"
+    ii = schedule.ii
+    lifetimes = _value_lifetimes(graph, schedule)
+    required_unroll = 1
+    for start, end in lifetimes.values():
+        if end > start:
+            required_unroll = max(required_unroll, math.ceil((end - start) / ii))
+
+    if kernel is None:
+        from repro.codegen.mve import modulo_variable_expansion
+
+        kernel = modulo_variable_expansion(graph, schedule)
+    _check_kernel(graph, schedule, kernel, required_unroll, unit, diags)
+
+    if allocation is None:
+        from repro.codegen.rotation import allocate_rotating
+
+        allocation = allocate_rotating(graph, schedule)
+    _check_rotation(graph, schedule, allocation, lifetimes, unit, diags)
+
+    if code is None:
+        from repro.codegen.emit import emit_pipelined_code
+
+        code = emit_pipelined_code(graph, schedule, use_mve=False)
+    _check_emitted(graph, schedule, code, unit, diags)
+    return diags
+
+
+def _check_kernel(
+    graph: DependenceGraph,
+    schedule: Schedule,
+    kernel,
+    required_unroll: int,
+    unit: str,
+    diags: Diagnostics,
+) -> None:
+    ii = schedule.ii
+    if kernel.unroll < required_unroll:
+        diags.add(
+            "CODE001",
+            f"MVE unroll {kernel.unroll} below the {required_unroll} copies "
+            f"the longest lifetime requires at II={ii}",
+            unit=unit,
+            obj="kernel",
+            unroll=kernel.unroll,
+            required=required_unroll,
+            ii=ii,
+        )
+        return
+    unroll = kernel.unroll
+    if kernel.ii != ii or len(kernel.rows) != ii * unroll:
+        diags.add(
+            "CODE002",
+            f"kernel shape II={kernel.ii} x unroll={unroll} with "
+            f"{len(kernel.rows)} rows does not match schedule II={ii}",
+            unit=unit,
+            obj="kernel",
+            kernel_ii=kernel.ii,
+            rows=len(kernel.rows),
+            ii=ii,
+        )
+        return
+    # Each real operation must appear once per kernel copy, in the row
+    # congruent to its slot, renamed to the value copy its stage implies.
+    placements: Dict[int, List[Tuple[int, int]]] = {}
+    for row_index, row in enumerate(kernel.rows):
+        for renamed in row:
+            placements.setdefault(renamed.op, []).append((row_index, renamed.copy))
+    for operation in graph.real_operations():
+        op = operation.index
+        slot = schedule.times[op] % ii
+        stage = schedule.times[op] // ii
+        expected = sorted(
+            (copy * ii + slot, (copy - stage) % unroll) for copy in range(unroll)
+        )
+        actual = sorted(placements.pop(op, []))
+        if actual != expected:
+            diags.add(
+                "CODE002",
+                f"kernel places op {op} at (row, copy) {actual}, "
+                f"schedule requires {expected}",
+                unit=unit,
+                obj=f"op {op}",
+                op=op,
+                actual=actual,
+                expected=expected,
+            )
+    for op, actual in placements.items():
+        diags.add(
+            "CODE002",
+            f"kernel contains op {op} absent from the schedule's real "
+            f"operations (rows {sorted(row for row, _ in actual)})",
+            unit=unit,
+            obj=f"op {op}",
+            op=op,
+        )
+
+
+def _check_rotation(
+    graph: DependenceGraph,
+    schedule: Schedule,
+    allocation,
+    lifetimes: Dict[int, Tuple[int, int]],
+    unit: str,
+    diags: Diagnostics,
+) -> None:
+    ii = schedule.ii
+    for op, (start, end) in sorted(lifetimes.items()):
+        width = allocation.widths.get(op)
+        if width is None or op not in allocation.bases:
+            diags.add(
+                "CODE004",
+                f"value of op {op} has no rotating register block",
+                unit=unit,
+                obj=f"op {op}",
+                op=op,
+            )
+            continue
+        # Instance k is overwritten when instance k + width is defined
+        # (width * II cycles later); its last read is end - start after
+        # its definition.
+        if end - start > width * ii:
+            diags.add(
+                "CODE003",
+                f"op {op}: live range [{start}, {end}] ({end - start} cycles) "
+                f"is overwritten after width {width} * II={ii} = {width * ii} "
+                f"cycles, before its last use",
+                unit=unit,
+                obj=f"op {op}",
+                op=op,
+                start=start,
+                end=end,
+                width=width,
+                ii=ii,
+            )
+        for edge in graph.succ_edges(op):
+            if edge.kind is not DependenceKind.FLOW:
+                continue
+            if graph.operation(edge.succ).is_pseudo:
+                continue
+            if edge.distance >= width + 1:
+                diags.add(
+                    "CODE003",
+                    f"op {op}: consumer {edge.succ} reads {edge.distance} "
+                    f"iterations back but the block holds only {width} "
+                    f"addressable instances",
+                    unit=unit,
+                    obj=f"op {op}",
+                    op=op,
+                    consumer=edge.succ,
+                    distance=edge.distance,
+                    width=width,
+                )
+    blocks = sorted(
+        (allocation.bases[op], allocation.widths[op], op)
+        for op in allocation.bases
+        if op in allocation.widths
+    )
+    cursor = 0
+    for base, width, op in blocks:
+        if base < cursor:
+            diags.add(
+                "CODE004",
+                f"rotating block of op {op} (r[{base}..{base + width - 1}]) "
+                f"overlaps the previous block ending at r[{cursor - 1}]",
+                unit=unit,
+                obj=f"op {op}",
+                op=op,
+                base=base,
+                width=width,
+            )
+        cursor = max(cursor, base + width)
+    if cursor > allocation.size:
+        diags.add(
+            "CODE004",
+            f"rotating file size {allocation.size} smaller than the "
+            f"{cursor} registers the blocks occupy",
+            unit=unit,
+            obj="rotating file",
+            size=allocation.size,
+            needed=cursor,
+        )
+
+
+def _check_emitted(
+    graph: DependenceGraph,
+    schedule: Schedule,
+    code,
+    unit: str,
+    diags: Diagnostics,
+) -> None:
+    ii = schedule.ii
+    stage_count = schedule.stage_count
+    ramp = (stage_count - 1) * ii
+    if code.stage_count != stage_count or code.ii != ii:
+        diags.add(
+            "CODE005",
+            f"emitted code declares II={code.ii}, stages={code.stage_count}; "
+            f"schedule has II={ii}, stages={stage_count}",
+            unit=unit,
+            obj="pipelined code",
+            code_ii=code.ii,
+            code_stages=code.stage_count,
+            ii=ii,
+            stages=stage_count,
+        )
+        return
+    if len(code.prologue) != ramp or len(code.epilogue) != ramp:
+        diags.add(
+            "CODE005",
+            f"ramp length mismatch: prologue {len(code.prologue)} / "
+            f"epilogue {len(code.epilogue)} rows, expected {ramp}",
+            unit=unit,
+            obj="pipelined code",
+            prologue=len(code.prologue),
+            epilogue=len(code.epilogue),
+            ramp=ramp,
+        )
+        return
+    expected_prologue: List[List[Tuple[int, int]]] = [[] for _ in range(ramp)]
+    expected_epilogue: List[List[Tuple[int, int]]] = [[] for _ in range(ramp)]
+    expected_fill = 0
+    expected_drain = 0
+    for operation in graph.real_operations():
+        op = operation.index
+        t = schedule.times[op]
+        j = 0
+        while t + j * ii < ramp:
+            expected_prologue[t + j * ii].append((op, j))
+            expected_fill += 1
+            j += 1
+        for lag in range(1, t // ii + 1):
+            expected_epilogue[t - lag * ii].append((op, lag))
+            expected_drain += 1
+    fill, drain = code.instance_count()
+    if (fill, drain) != (expected_fill, expected_drain):
+        diags.add(
+            "CODE005",
+            f"instance counts (prologue {fill}, epilogue {drain}) differ "
+            f"from the ramp equations (prologue {expected_fill}, "
+            f"epilogue {expected_drain})",
+            unit=unit,
+            obj="pipelined code",
+            prologue=fill,
+            epilogue=drain,
+            expected_prologue=expected_fill,
+            expected_epilogue=expected_drain,
+        )
+    for cycle in range(ramp):
+        if sorted(code.prologue[cycle]) != sorted(expected_prologue[cycle]):
+            diags.add(
+                "CODE006",
+                f"prologue cycle {cycle} issues {sorted(code.prologue[cycle])}, "
+                f"schedule requires {sorted(expected_prologue[cycle])}",
+                unit=unit,
+                obj=f"prologue cycle {cycle}",
+                cycle=cycle,
+            )
+        if sorted(code.epilogue[cycle]) != sorted(expected_epilogue[cycle]):
+            diags.add(
+                "CODE006",
+                f"epilogue cycle {cycle} issues {sorted(code.epilogue[cycle])}, "
+                f"schedule requires {sorted(expected_epilogue[cycle])}",
+                unit=unit,
+                obj=f"epilogue cycle {cycle}",
+                cycle=cycle,
+            )

@@ -1,0 +1,484 @@
+"""Lint passes over dependence graphs, machine descriptions and MinDist.
+
+Passes register themselves in a small registry (name, target, codes) so
+the CLI and docs can enumerate them; each pass is a pure function that
+appends findings to a :class:`~repro.check.diagnostics.Diagnostics` set.
+
+Targets
+-------
+``graph``
+    Well-formedness of a sealed dependence graph: the START/STOP
+    bracketing invariants, delay sanity against the Table 1 formulae,
+    zero-distance circuits, dangling virtual registers and dynamic-
+    single-assignment violations in front-end graphs.
+``machine``
+    Structural lints of a machine description: dead resources,
+    alternatives dominated (made unreachable) by an earlier one,
+    reservation-table offsets inconsistent with the opcode latency.
+``mindist``
+    Invariants of the computed MinDist matrix: (max, +) transitive
+    closure, and the paper's feasibility criterion — a non-positive
+    diagonal exactly when II >= RecMII.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.check.diagnostics import Diagnostics, Severity, apply_waivers
+from repro.ir.edges import DelayModel, DependenceKind, edge_delay
+from repro.ir.graph import DependenceGraph
+
+
+@dataclass(frozen=True)
+class LintPass:
+    """One registered lint pass."""
+
+    name: str
+    target: str
+    codes: Tuple[str, ...]
+    doc: str
+    run: Callable
+
+    def describe(self) -> str:
+        """One-line listing entry for the CLI."""
+        return f"{self.name} ({self.target}): {', '.join(self.codes)} — {self.doc}"
+
+
+_PASSES: Dict[str, LintPass] = {}
+
+
+def _register(name: str, target: str, codes: Tuple[str, ...]):
+    def decorator(fn: Callable) -> Callable:
+        doc = (fn.__doc__ or "").strip().splitlines()[0]
+        _PASSES[name] = LintPass(name, target, codes, doc, fn)
+        return fn
+
+    return decorator
+
+
+def registered_passes(target: Optional[str] = None) -> Tuple[LintPass, ...]:
+    """All registered passes (optionally restricted to one target)."""
+    passes = [
+        p for p in _PASSES.values() if target is None or p.target == target
+    ]
+    return tuple(sorted(passes, key=lambda p: p.name))
+
+
+# ----------------------------------------------------------------------
+# Graph passes
+# ----------------------------------------------------------------------
+
+
+@_register("graph-structure", "graph", ("GRAPH001",))
+def _lint_graph_structure(
+    graph: DependenceGraph, diags: Diagnostics, unit: str
+) -> None:
+    """START/STOP pseudo-op invariants of a sealed graph."""
+    if not graph.sealed:
+        diags.add("GRAPH001", "graph is not sealed", unit=unit)
+        return
+    start_op = graph.operation(graph.START)
+    if not start_op.is_start:
+        diags.add(
+            "GRAPH001",
+            f"operation 0 is {start_op.opcode!r}, not START",
+            unit=unit,
+            obj="op 0",
+        )
+    stop_op = graph.operation(graph.stop)
+    if not stop_op.is_stop:
+        diags.add(
+            "GRAPH001",
+            f"operation {graph.stop} is {stop_op.opcode!r}, not STOP",
+            unit=unit,
+            obj=f"op {graph.stop}",
+        )
+    if graph.pred_edges(graph.START):
+        diags.add(
+            "GRAPH001",
+            "START has incoming dependence edges",
+            unit=unit,
+            obj="START",
+        )
+    if graph.succ_edges(graph.stop):
+        diags.add(
+            "GRAPH001",
+            "STOP has outgoing dependence edges",
+            unit=unit,
+            obj="STOP",
+        )
+    for operation in graph.real_operations():
+        op = operation.index
+        if operation.is_pseudo:
+            continue
+        if not any(e.pred == graph.START for e in graph.pred_edges(op)):
+            diags.add(
+                "GRAPH001",
+                f"real operation {op} lacks the START bracketing edge",
+                unit=unit,
+                obj=f"op {op}",
+                op=op,
+            )
+        if not any(e.succ == graph.stop for e in graph.succ_edges(op)):
+            diags.add(
+                "GRAPH001",
+                f"real operation {op} lacks the STOP bracketing edge",
+                unit=unit,
+                obj=f"op {op}",
+                op=op,
+            )
+
+
+@_register("graph-delays", "graph", ("GRAPH002",))
+def _lint_graph_delays(
+    graph: DependenceGraph, diags: Diagnostics, unit: str
+) -> None:
+    """Edge delays re-derived from the Table 1 formulae."""
+    if not graph.sealed:
+        return
+    for edge in graph.edges:
+        if (
+            graph.operation(edge.pred).is_pseudo
+            or graph.operation(edge.succ).is_pseudo
+        ):
+            continue  # bracketing edges carry fixed structural delays
+        if (
+            edge.pred == edge.succ
+            and graph.operation(edge.pred).attrs.get("role") == "loop_control"
+        ):
+            # The loop-closing branch issues once per II regardless of its
+            # own latency; the front end pins this self-dependence to
+            # delay 1 by construction.
+            continue
+        pred_latency = graph.latency(edge.pred)
+        succ_latency = graph.latency(edge.succ)
+        expected = edge_delay(
+            edge.kind, pred_latency, succ_latency, graph.delay_model
+        )
+        floor = edge_delay(edge.kind, pred_latency, succ_latency, DelayModel.VLIW)
+        if edge.delay == expected:
+            continue
+        below_minimum = edge.delay < floor
+        diags.add(
+            "GRAPH002",
+            f"edge {edge.describe()} has delay {edge.delay}; Table 1 "
+            f"({graph.delay_model.value} model) gives {expected}"
+            + (f", hardware minimum {floor}" if below_minimum else ""),
+            unit=unit,
+            obj=f"edge {edge.pred} -> {edge.succ}",
+            severity=Severity.ERROR if below_minimum else None,
+            delay=edge.delay,
+            expected=expected,
+            floor=floor,
+        )
+
+
+@_register("graph-circuits", "graph", ("GRAPH003",))
+def _lint_graph_circuits(
+    graph: DependenceGraph, diags: Diagnostics, unit: str
+) -> None:
+    """Zero-distance dependence circuits (unschedulable at any II)."""
+    n = graph.n_ops
+    indegree = [0] * n
+    succs: Dict[int, list] = {op: [] for op in range(n)}
+    for edge in graph.edges:
+        if edge.distance == 0:
+            succs[edge.pred].append(edge.succ)
+            indegree[edge.succ] += 1
+    ready = [op for op in range(n) if indegree[op] == 0]
+    removed = 0
+    while ready:
+        op = ready.pop()
+        removed += 1
+        for succ in succs[op]:
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                ready.append(succ)
+    if removed < n:
+        cyclic = sorted(op for op in range(n) if indegree[op] > 0)
+        diags.add(
+            "GRAPH003",
+            f"zero-distance dependence circuit through operations {cyclic}: "
+            "every circuit must carry distance >= 1",
+            unit=unit,
+            obj=f"ops {cyclic}",
+            ops=cyclic,
+        )
+
+
+@_register("graph-registers", "graph", ("GRAPH004", "GRAPH005"))
+def _lint_graph_registers(
+    graph: DependenceGraph, diags: Diagnostics, unit: str
+) -> None:
+    """Dangling virtual registers and DSA single-assignment violations."""
+    definers: Dict[str, list] = {}
+    for operation in graph.real_operations():
+        if operation.dest is not None:
+            definers.setdefault(operation.dest, []).append(operation.index)
+    for name, ops in sorted(definers.items()):
+        if len(ops) > 1:
+            diags.add(
+                "GRAPH005",
+                f"virtual register {name!r} assigned by operations {ops}: "
+                "IF-converted code must be dynamic single assignment",
+                unit=unit,
+                obj=f"vreg {name}",
+                vreg=name,
+                ops=ops,
+            )
+    # Dangling-read analysis needs the front end's operand descriptors to
+    # know which source names are live-ins; hand-built graphs without
+    # them are skipped.
+    liveins = set()
+    has_descriptors = False
+    for operation in graph.real_operations():
+        for descriptor in operation.attrs.get("operands", ()):
+            has_descriptors = True
+            if descriptor[0] == "livein":
+                liveins.add(descriptor[1])
+    if not has_descriptors:
+        return
+    for operation in graph.real_operations():
+        names = list(operation.srcs)
+        if operation.predicate is not None:
+            names.append(operation.predicate)
+        for name in names:
+            if name not in definers and name not in liveins:
+                diags.add(
+                    "GRAPH004",
+                    f"operation {operation.index} reads virtual register "
+                    f"{name!r} which no operation defines and no live-in "
+                    "provides",
+                    unit=unit,
+                    obj=f"op {operation.index}",
+                    op=operation.index,
+                    vreg=name,
+                )
+
+
+# ----------------------------------------------------------------------
+# Machine passes
+# ----------------------------------------------------------------------
+
+
+@_register("machine-dead-resources", "machine", ("MACH001",))
+def _lint_machine_dead_resources(machine, diags: Diagnostics, unit: str) -> None:
+    """Resources declared but referenced by no reservation table."""
+    used = set()
+    for name in machine.opcode_names:
+        for alternative in machine.opcode(name).alternatives:
+            used.update(alternative.resources)
+    for resource in machine.resources:
+        if resource not in used:
+            diags.add(
+                "MACH001",
+                f"resource {resource!r} is referenced by no reservation "
+                "table of any opcode",
+                unit=unit,
+                obj=f"resource {resource}",
+                resource=resource,
+            )
+
+
+@_register("machine-dominated-alternatives", "machine", ("MACH002",))
+def _lint_machine_dominated(machine, diags: Diagnostics, unit: str) -> None:
+    """Alternatives whose uses are a superset of an earlier alternative's."""
+    for name in machine.opcode_names:
+        alternatives = machine.opcode(name).alternatives
+        for later in range(1, len(alternatives)):
+            for earlier in range(later):
+                if set(alternatives[earlier].uses) <= set(alternatives[later].uses):
+                    diags.add(
+                        "MACH002",
+                        f"opcode {name!r}: alternative "
+                        f"{alternatives[later].name!r} is dominated by "
+                        f"earlier alternative {alternatives[earlier].name!r} "
+                        "(its uses are a superset, so in-order probing can "
+                        "never prefer it)",
+                        unit=unit,
+                        obj=f"opcode {name}",
+                        opcode=name,
+                        dominated=alternatives[later].name,
+                        dominator=alternatives[earlier].name,
+                    )
+                    break
+
+
+@_register("machine-latencies", "machine", ("MACH003", "MACH004"))
+def _lint_machine_latencies(machine, diags: Diagnostics, unit: str) -> None:
+    """Latency / reservation-span consistency per opcode."""
+    for name in machine.opcode_names:
+        opcode = machine.opcode(name)
+        if opcode.latency < 1:
+            diags.add(
+                "MACH004",
+                f"opcode {name!r} has latency {opcode.latency}; the Table 1 "
+                "delay formulae assume every operation takes at least one "
+                "cycle",
+                unit=unit,
+                obj=f"opcode {name}",
+                opcode=name,
+                latency=opcode.latency,
+            )
+            continue
+        for alternative in opcode.alternatives:
+            worst = max(offset for _, offset in alternative.uses)
+            if worst > opcode.latency - 1:
+                diags.add(
+                    "MACH003",
+                    f"opcode {name!r} alternative {alternative.name!r} holds "
+                    f"a resource at offset {worst} but the result is "
+                    f"architecturally available after latency "
+                    f"{opcode.latency}",
+                    unit=unit,
+                    obj=f"opcode {name}",
+                    opcode=name,
+                    alternative=alternative.name,
+                    offset=worst,
+                    latency=opcode.latency,
+                )
+
+
+# ----------------------------------------------------------------------
+# MinDist passes
+# ----------------------------------------------------------------------
+
+
+def check_mindist_matrix(
+    dist: np.ndarray,
+    ii: int,
+    rec_mii: Optional[int] = None,
+    *,
+    rec_mii_exact: bool = True,
+    unit: str = "mindist",
+    diagnostics: Optional[Diagnostics] = None,
+) -> Diagnostics:
+    """Check closure and feasibility invariants of one MinDist matrix.
+
+    ``dist`` must be the (max, +) closure :func:`repro.core.mindist.
+    compute_mindist` returns for ``ii``; ``rec_mii`` (when exact) pins the
+    paper's criterion that the diagonal is non-positive iff II >= RecMII.
+    """
+    diags = diagnostics if diagnostics is not None else Diagnostics()
+    n = dist.shape[0]
+    diagonal = np.diagonal(dist)
+    feasible = bool(np.all(diagonal <= 0))
+    for k in range(n) if feasible else ():
+        # With a positive cycle (infeasible II) the (max, +) closure has
+        # no fixpoint — path lengths grow without bound — so the closure
+        # invariant is only meaningful at a feasible II.
+        via_k = dist[:, k : k + 1] + dist[k : k + 1, :]
+        with np.errstate(invalid="ignore"):
+            gain = via_k > dist
+        if np.any(gain):
+            i, j = np.argwhere(gain)[0]
+            diags.add(
+                "MIND001",
+                f"MinDist not transitively closed at II={ii}: "
+                f"dist[{i},{j}]={dist[i, j]} but the path through {k} "
+                f"gives {via_k[i, j]}",
+                unit=unit,
+                obj=f"entry ({int(i)}, {int(j)})",
+                ii=ii,
+                i=int(i),
+                j=int(j),
+                via=int(k),
+            )
+            break
+    if rec_mii is not None and rec_mii_exact:
+        expected = ii >= rec_mii
+        if feasible != expected:
+            worst = float(np.max(diagonal))
+            diags.add(
+                "MIND002",
+                f"MinDist diagonal at II={ii} is "
+                f"{'non-positive' if feasible else f'positive (max {worst})'} "
+                f"but RecMII={rec_mii} says the II is "
+                f"{'feasible' if expected else 'infeasible'}",
+                unit=unit,
+                obj=f"II {ii}",
+                ii=ii,
+                rec_mii=rec_mii,
+                feasible=feasible,
+            )
+    return diags
+
+
+@_register("mindist-invariants", "mindist", ("MIND001", "MIND002"))
+def _lint_mindist(
+    graph: DependenceGraph, machine, diags: Diagnostics, unit: str
+) -> None:
+    """Closure + feasibility of the MinDist matrix around RecMII."""
+    from repro.core.mii import compute_mii
+    from repro.core.mindist import compute_mindist
+
+    mii_result = compute_mii(graph, machine, exact=True)
+    rec = mii_result.rec_mii
+    probes = {max(1, rec - 1), rec, rec + 1}
+    for ii in sorted(probes):
+        dist, _ = compute_mindist(graph, ii)
+        check_mindist_matrix(
+            dist,
+            ii,
+            rec,
+            rec_mii_exact=mii_result.rec_mii_exact,
+            unit=unit,
+            diagnostics=diags,
+        )
+
+
+# ----------------------------------------------------------------------
+# Drivers
+# ----------------------------------------------------------------------
+
+
+def lint_graph(
+    graph: DependenceGraph,
+    *,
+    unit: Optional[str] = None,
+    diagnostics: Optional[Diagnostics] = None,
+) -> Diagnostics:
+    """Run every graph-target lint pass over ``graph``."""
+    diags = diagnostics if diagnostics is not None else Diagnostics()
+    unit = unit if unit is not None else f"loop {graph.name!r}"
+    for lint in registered_passes("graph"):
+        lint.run(graph, diags, unit)
+    return diags
+
+
+def lint_machine(
+    machine,
+    *,
+    waivers: Iterable[str] = (),
+    unit: Optional[str] = None,
+) -> Diagnostics:
+    """Run every machine-target lint pass; ``waivers`` downgrade findings.
+
+    Waivers are the codes extracted from ``# lint: waive(CODE)`` comments
+    in the machine's defining module (see
+    :func:`repro.check.diagnostics.waivers_in_source`).
+    """
+    diags = Diagnostics()
+    unit = unit if unit is not None else f"machine {machine.name!r}"
+    for lint in registered_passes("machine"):
+        lint.run(machine, diags, unit)
+    return apply_waivers(diags, waivers)
+
+
+def lint_mindist(
+    graph: DependenceGraph,
+    machine,
+    *,
+    unit: Optional[str] = None,
+    diagnostics: Optional[Diagnostics] = None,
+) -> Diagnostics:
+    """Run the MinDist invariant pass for ``graph`` on ``machine``."""
+    diags = diagnostics if diagnostics is not None else Diagnostics()
+    unit = unit if unit is not None else f"loop {graph.name!r}"
+    for lint in registered_passes("mindist"):
+        lint.run(graph, machine, diags, unit)
+    return diags

@@ -1,0 +1,690 @@
+"""Corrupted-schedule fixtures: one mutant per diagnostic code.
+
+The negative-path regression suite needs proof that every code in the
+:data:`~repro.check.diagnostics.CODES` registry actually fires where it
+should.  Each :class:`Mutant` here builds a *correct* artifact with the
+production pipeline, corrupts it in one precisely-targeted way, runs the
+matching checker, and returns the resulting diagnostics; the suite
+asserts ``mutant.code`` is among them (a clean base run is asserted
+separately, so the mutation — not the fixture — is what trips the code).
+
+Mutants never mutate shared fixtures in place: schedules, allocations and
+code layouts are cloned before corruption, so the memoized base artifacts
+stay pristine across mutants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.check.diagnostics import Diagnostics
+from repro.core.schedule import Schedule
+
+#: Source of the memoized base fixtures: a dot product (acyclic resource
+#: pressure plus the ``s`` recurrence) and a first-order memory
+#: recurrence whose store -> load distance-1 dependence makes memory
+#: timing mistakes observable.
+DOT_SOURCE = "for i in n:\n    s = s + x[i] * y[i]\n"
+RECURRENCE_SOURCE = "for i in n:\n    x[i] = z[i] * (y[i] - x[i-1])\n"
+
+
+@dataclass(frozen=True)
+class Mutant:
+    """One targeted corruption and the diagnostic code it must trip."""
+
+    name: str
+    code: str
+    description: str
+    build: Callable[[], Diagnostics]
+
+    def run(self) -> Diagnostics:
+        """Build the corrupted artifact and run the matching checker."""
+        return self.build()
+
+
+# ----------------------------------------------------------------------
+# Memoized base fixtures (never corrupted in place)
+# ----------------------------------------------------------------------
+
+
+@lru_cache(maxsize=None)
+def _machine(name: str):
+    from repro.machine import cydra5, single_alu_machine
+
+    return {"cydra5": cydra5, "single_alu": single_alu_machine}[name]()
+
+
+@lru_cache(maxsize=None)
+def _compiled(machine_name: str, source: str):
+    from repro.loopir import compile_loop_full
+
+    return compile_loop_full(source, _machine(machine_name))
+
+
+@lru_cache(maxsize=None)
+def _scheduled(machine_name: str, source: str):
+    from repro.core import modulo_schedule
+
+    lowered = _compiled(machine_name, source)
+    result = modulo_schedule(lowered.graph, _machine(machine_name))
+    return lowered, result.schedule
+
+
+def _clone(schedule: Schedule, **overrides) -> Schedule:
+    """A corruptible copy of a schedule (times/alternatives dicts copied)."""
+    fields = {
+        "graph": schedule.graph,
+        "ii": schedule.ii,
+        "times": dict(schedule.times),
+        "alternatives": dict(schedule.alternatives),
+        "modulo": schedule.modulo,
+    }
+    fields.update(overrides)
+    return Schedule(**fields)
+
+
+def _real_ops(graph) -> Tuple[int, ...]:
+    return tuple(op.index for op in graph.real_operations())
+
+
+def _flow_edge(graph, min_delay: int = 1):
+    """A distance-0 flow edge between real operations, delay >= min_delay."""
+    from repro.ir.edges import DependenceKind
+
+    for edge in graph.edges:
+        if (
+            edge.kind is DependenceKind.FLOW
+            and edge.distance == 0
+            and edge.delay >= min_delay
+            and not graph.operation(edge.pred).is_pseudo
+            and not graph.operation(edge.succ).is_pseudo
+        ):
+            return edge
+    raise AssertionError("fixture loop has no qualifying flow edge")
+
+
+def _checked(schedule: Schedule, machine_name: str) -> Diagnostics:
+    from repro.check.validate import check_schedule
+
+    return check_schedule(schedule.graph, _machine(machine_name), schedule)
+
+
+# ----------------------------------------------------------------------
+# Schedule mutants (SCHED001 - SCHED010)
+# ----------------------------------------------------------------------
+
+
+def _mutant_sched001() -> Diagnostics:
+    _, schedule = _scheduled("single_alu", DOT_SOURCE)
+    return _checked(_clone(schedule, ii=0), "single_alu")
+
+
+def _mutant_sched002() -> Diagnostics:
+    _, schedule = _scheduled("single_alu", DOT_SOURCE)
+    bad = _clone(schedule)
+    del bad.times[_real_ops(bad.graph)[0]]
+    return _checked(bad, "single_alu")
+
+
+def _mutant_sched003() -> Diagnostics:
+    _, schedule = _scheduled("single_alu", DOT_SOURCE)
+    bad = _clone(schedule)
+    bad.times[bad.graph.START] = 1
+    return _checked(bad, "single_alu")
+
+
+def _mutant_sched004() -> Diagnostics:
+    _, schedule = _scheduled("single_alu", DOT_SOURCE)
+    bad = _clone(schedule)
+    bad.times[_real_ops(bad.graph)[0]] = -1
+    return _checked(bad, "single_alu")
+
+
+def _mutant_sched005() -> Diagnostics:
+    _, schedule = _scheduled("single_alu", DOT_SOURCE)
+    bad = _clone(schedule)
+    edge = _flow_edge(bad.graph)
+    bad.times[edge.succ] = bad.times[edge.pred] + edge.delay - 1
+    return _checked(bad, "single_alu")
+
+
+def _mutant_sched006() -> Diagnostics:
+    _, schedule = _scheduled("single_alu", DOT_SOURCE)
+    bad = _clone(schedule)
+    donor = _real_ops(bad.graph)[0]
+    bad.alternatives[bad.graph.START] = bad.alternatives[donor]
+    return _checked(bad, "single_alu")
+
+
+def _mutant_sched007() -> Diagnostics:
+    _, schedule = _scheduled("single_alu", DOT_SOURCE)
+    bad = _clone(schedule)
+    bad.alternatives[_real_ops(bad.graph)[0]] = None
+    return _checked(bad, "single_alu")
+
+
+def _mutant_sched008() -> Diagnostics:
+    from repro.machine.resources import ReservationTable
+
+    _, schedule = _scheduled("single_alu", DOT_SOURCE)
+    bad = _clone(schedule)
+    machine = _machine("single_alu")
+    bad.alternatives[_real_ops(bad.graph)[0]] = ReservationTable(
+        "bogus", [(machine.resources[0], 0)]
+    )
+    return _checked(bad, "single_alu")
+
+
+def _mutant_sched009() -> Diagnostics:
+    # On single_alu every real operation books the one ALU at offset 0,
+    # so any two co-scheduled operations collide in the MRT.
+    _, schedule = _scheduled("single_alu", DOT_SOURCE)
+    bad = _clone(schedule)
+    first, second = _real_ops(bad.graph)[:2]
+    bad.times[second] = bad.times[first]
+    return _checked(bad, "single_alu")
+
+
+def _mutant_sched010() -> Diagnostics:
+    from repro.baselines import list_schedule
+
+    lowered = _compiled("single_alu", DOT_SOURCE)
+    schedule = list_schedule(lowered.graph, _machine("single_alu"))
+    assert not schedule.modulo
+    bad = _clone(schedule)
+    first, second = _real_ops(bad.graph)[:2]
+    bad.times[second] = bad.times[first]
+    return _checked(bad, "single_alu")
+
+
+# ----------------------------------------------------------------------
+# Codegen-artifact mutants (CODE001 - CODE006)
+# ----------------------------------------------------------------------
+
+
+@lru_cache(maxsize=None)
+def _codegen_artifacts():
+    """(graph, schedule, kernel, allocation, code) for the cydra5 dot loop."""
+    from repro.codegen.emit import emit_pipelined_code
+    from repro.codegen.mve import modulo_variable_expansion
+    from repro.codegen.rotation import allocate_rotating
+
+    lowered, schedule = _scheduled("cydra5", DOT_SOURCE)
+    graph = lowered.graph
+    kernel = modulo_variable_expansion(graph, schedule)
+    allocation = allocate_rotating(graph, schedule)
+    code = emit_pipelined_code(graph, schedule, use_mve=False)
+    return graph, schedule, kernel, allocation, code
+
+
+def _checked_codegen(kernel=None, allocation=None, code=None) -> Diagnostics:
+    from repro.check.codegen import check_codegen
+
+    graph, schedule, base_kernel, base_allocation, base_code = (
+        _codegen_artifacts()
+    )
+    return check_codegen(
+        graph,
+        schedule,
+        kernel=kernel if kernel is not None else base_kernel,
+        allocation=allocation if allocation is not None else base_allocation,
+        code=code if code is not None else base_code,
+    )
+
+
+def _clone_allocation(allocation):
+    from repro.codegen.rotation import RotatingAllocation
+
+    return RotatingAllocation(
+        bases=dict(allocation.bases),
+        widths=dict(allocation.widths),
+        size=allocation.size,
+    )
+
+
+def _clone_code(code):
+    from repro.codegen.emit import PipelinedCode
+
+    return PipelinedCode(
+        ii=code.ii,
+        stage_count=code.stage_count,
+        prologue=[list(row) for row in code.prologue],
+        kernel=code.kernel,
+        epilogue=[list(row) for row in code.epilogue],
+    )
+
+
+def _mutant_code001() -> Diagnostics:
+    from repro.codegen.mve import MVEKernel
+
+    _, schedule, kernel, _, _ = _codegen_artifacts()
+    assert kernel.unroll >= 2, "fixture loop must need MVE unrolling"
+    starved = MVEKernel(ii=schedule.ii, unroll=1, rows=kernel.rows[: schedule.ii])
+    return _checked_codegen(kernel=starved)
+
+
+def _mutant_code002() -> Diagnostics:
+    from repro.codegen.mve import MVEKernel
+
+    _, _, kernel, _, _ = _codegen_artifacts()
+    rows = [list(row) for row in kernel.rows]
+    donor = next(i for i, row in enumerate(rows) if row)
+    rows[(donor + 1) % len(rows)].append(rows[donor].pop(0))
+    shifted = MVEKernel(ii=kernel.ii, unroll=kernel.unroll, rows=rows)
+    return _checked_codegen(kernel=shifted)
+
+
+def _mutant_code003() -> Diagnostics:
+    from repro.check.codegen import _value_lifetimes
+
+    graph, schedule, _, allocation, _ = _codegen_artifacts()
+    lifetimes = _value_lifetimes(graph, schedule)
+    victim = next(
+        op
+        for op, (start, end) in sorted(lifetimes.items())
+        if end - start > schedule.ii and allocation.widths.get(op, 0) >= 2
+    )
+    shrunk = _clone_allocation(allocation)
+    shrunk.widths[victim] = (
+        lifetimes[victim][1] - lifetimes[victim][0] - 1
+    ) // schedule.ii
+    return _checked_codegen(allocation=shrunk)
+
+
+def _mutant_code004() -> Diagnostics:
+    _, _, _, allocation, _ = _codegen_artifacts()
+    overlapped = _clone_allocation(allocation)
+    ops = sorted(overlapped.bases)
+    assert len(ops) >= 2, "fixture loop must allocate at least two blocks"
+    overlapped.bases[ops[1]] = overlapped.bases[ops[0]]
+    return _checked_codegen(allocation=overlapped)
+
+
+def _mutant_code005() -> Diagnostics:
+    _, _, _, _, code = _codegen_artifacts()
+    truncated = _clone_code(code)
+    assert truncated.prologue, "fixture loop must have a multi-stage ramp"
+    truncated.prologue.pop()
+    return _checked_codegen(code=truncated)
+
+
+def _mutant_code006() -> Diagnostics:
+    _, _, _, _, code = _codegen_artifacts()
+    swapped = _clone_code(code)
+    rows = swapped.prologue
+    first, second = next(
+        (i, j)
+        for i in range(len(rows))
+        for j in range(i + 1, len(rows))
+        if sorted(rows[i]) != sorted(rows[j])
+    )
+    rows[first], rows[second] = rows[second], rows[first]
+    return _checked_codegen(code=swapped)
+
+
+# ----------------------------------------------------------------------
+# Graph-lint mutants (GRAPH001 - GRAPH005)
+# ----------------------------------------------------------------------
+
+
+def _fresh_graph():
+    from repro.ir.graph import DependenceGraph
+
+    return DependenceGraph(_machine("single_alu"), name="mutant")
+
+
+def _mutant_graph001() -> Diagnostics:
+    from repro.check.lint import lint_graph
+
+    graph = _fresh_graph()
+    graph.add_operation("add", dest="a", srcs=())
+    return lint_graph(graph)  # never sealed
+
+
+def _mutant_graph002() -> Diagnostics:
+    from repro.check.lint import lint_graph
+    from repro.ir.edges import DependenceKind
+
+    graph = _fresh_graph()
+    a = graph.add_operation("add", dest="a", srcs=())
+    b = graph.add_operation("add", dest="b", srcs=("a",))
+    # add has latency 1 on single_alu: a flow delay of 0 is below the
+    # hardware minimum, not merely off-model.
+    graph.add_edge(a, b, DependenceKind.FLOW, distance=0, delay=0)
+    return lint_graph(graph.seal())
+
+
+def _mutant_graph003() -> Diagnostics:
+    from repro.check.lint import lint_graph
+    from repro.ir.edges import DependenceKind
+
+    graph = _fresh_graph()
+    a = graph.add_operation("add", dest="a", srcs=("b",))
+    b = graph.add_operation("add", dest="b", srcs=("a",))
+    graph.add_edge(a, b, DependenceKind.FLOW, distance=0)
+    graph.add_edge(b, a, DependenceKind.FLOW, distance=0)
+    return lint_graph(graph.seal())
+
+
+def _mutant_graph004() -> Diagnostics:
+    from repro.check.lint import lint_graph
+
+    graph = _fresh_graph()
+    graph.add_operation(
+        "add", dest="a", srcs=("phantom",), operands=(("livein", "x"),)
+    )
+    return lint_graph(graph.seal())
+
+
+def _mutant_graph005() -> Diagnostics:
+    from repro.check.lint import lint_graph
+
+    graph = _fresh_graph()
+    graph.add_operation("add", dest="s", srcs=())
+    graph.add_operation("add", dest="s", srcs=())
+    return lint_graph(graph.seal())
+
+
+# ----------------------------------------------------------------------
+# Machine-lint mutants (MACH001 - MACH004)
+# ----------------------------------------------------------------------
+
+
+def _lint_synthetic(machine) -> Diagnostics:
+    from repro.check.lint import lint_machine
+
+    return lint_machine(machine)
+
+
+def _mutant_mach001() -> Diagnostics:
+    from repro.machine.machine import MachineDescription
+    from repro.machine.opcodes import Opcode
+    from repro.machine.resources import ReservationTable
+
+    return _lint_synthetic(
+        MachineDescription(
+            "mutant_dead_resource",
+            ("alu", "spare_bus"),
+            [Opcode("add", 1, [ReservationTable("alu", [("alu", 0)])])],
+        )
+    )
+
+
+def _mutant_mach002() -> Diagnostics:
+    from repro.machine.machine import MachineDescription
+    from repro.machine.opcodes import Opcode
+    from repro.machine.resources import ReservationTable
+
+    return _lint_synthetic(
+        MachineDescription(
+            "mutant_dominated",
+            ("alu", "bus"),
+            [
+                Opcode(
+                    "add",
+                    1,
+                    [
+                        ReservationTable("lean", [("alu", 0)]),
+                        ReservationTable("greedy", [("alu", 0), ("bus", 0)]),
+                    ],
+                )
+            ],
+        )
+    )
+
+
+def _mutant_mach003() -> Diagnostics:
+    from repro.machine.machine import MachineDescription
+    from repro.machine.opcodes import Opcode
+    from repro.machine.resources import ReservationTable
+
+    return _lint_synthetic(
+        MachineDescription(
+            "mutant_late_hold",
+            ("alu",),
+            [
+                Opcode(
+                    "add", 1, [ReservationTable("alu", [("alu", 0), ("alu", 1)])]
+                )
+            ],
+        )
+    )
+
+
+def _mutant_mach004() -> Diagnostics:
+    from repro.machine.machine import MachineDescription
+    from repro.machine.opcodes import Opcode
+    from repro.machine.resources import ReservationTable
+
+    return _lint_synthetic(
+        MachineDescription(
+            "mutant_zero_latency",
+            ("alu",),
+            [Opcode("nop", 0, [ReservationTable("alu", [("alu", 0)])])],
+        )
+    )
+
+
+# ----------------------------------------------------------------------
+# MinDist mutants (MIND001 - MIND002)
+# ----------------------------------------------------------------------
+
+
+@lru_cache(maxsize=None)
+def _chain_mindist():
+    """The MinDist closure of a 3-op chain at II=1 (numpy array, copied)."""
+    import numpy as np
+
+    from repro.core.mindist import compute_mindist
+    from repro.ir.edges import DependenceKind
+
+    graph = _fresh_graph()
+    a = graph.add_operation("add", dest="a", srcs=())
+    b = graph.add_operation("add", dest="b", srcs=("a",))
+    c = graph.add_operation("add", dest="c", srcs=("b",))
+    graph.add_edge(a, b, DependenceKind.FLOW, distance=0)
+    graph.add_edge(b, c, DependenceKind.FLOW, distance=0)
+    graph.seal()
+    dist, _ = compute_mindist(graph, 1)
+    return np.array(dist), a, c
+
+
+def _mutant_mind001() -> Diagnostics:
+    import numpy as np
+
+    from repro.check.lint import check_mindist_matrix
+
+    dist, a, c = _chain_mindist()
+    corrupt = np.array(dist)
+    # a -> c is transitive (delay 1 + 1 through b); shaving it breaks
+    # closure with b as the witness.
+    corrupt[a, c] = dist[a, c] - 1
+    return check_mindist_matrix(corrupt, 1)
+
+
+def _mutant_mind002() -> Diagnostics:
+    from repro.check.lint import check_mindist_matrix
+
+    dist, _, _ = _chain_mindist()
+    # The chain is acyclic: every II is feasible and the true RecMII is 1.
+    # Claiming RecMII=2 asserts II=1 must be infeasible, contradicting the
+    # matrix's non-positive diagonal.
+    return check_mindist_matrix(dist, 1, 2, rec_mii_exact=True)
+
+
+# ----------------------------------------------------------------------
+# Simulator mutants (SIM001 - SIM002)
+# ----------------------------------------------------------------------
+
+
+def _mutant_sim001() -> Diagnostics:
+    from repro.simulator import check_equivalence
+
+    lowered, schedule = _scheduled("cydra5", RECURRENCE_SOURCE)
+    bad = _clone(schedule)
+    store = next(
+        op.index
+        for op in bad.graph.real_operations()
+        if op.opcode == "store"
+    )
+    # Deferring the store's commit past the next iterations' x[i-1] loads
+    # makes them sample stale memory: the final arrays diverge from the
+    # sequential oracle.  Operand-readiness is untouched (the store only
+    # reads *later*), so this is a pure value mismatch.
+    bad.times[store] += 5 * bad.ii
+    report = check_equivalence(lowered, bad, n=8)
+    return report.diagnostics()
+
+
+def _mutant_sim002() -> Diagnostics:
+    from repro.simulator import check_equivalence
+
+    lowered, schedule = _scheduled("cydra5", DOT_SOURCE)
+    bad = _clone(schedule)
+    edge = _flow_edge(bad.graph, min_delay=2)
+    bad.times[edge.succ] = bad.times[edge.pred]
+    report = check_equivalence(lowered, bad, n=6)
+    return report.diagnostics()
+
+
+# ----------------------------------------------------------------------
+# The registry
+# ----------------------------------------------------------------------
+
+MUTANTS: Tuple[Mutant, ...] = (
+    Mutant("zero-ii", "SCHED001", "II forced to 0", _mutant_sched001),
+    Mutant(
+        "dropped-op", "SCHED002", "a real operation unscheduled",
+        _mutant_sched002,
+    ),
+    Mutant(
+        "shifted-start", "SCHED003", "START moved off cycle 0",
+        _mutant_sched003,
+    ),
+    Mutant(
+        "negative-time", "SCHED004", "an operation at cycle -1",
+        _mutant_sched004,
+    ),
+    Mutant(
+        "squeezed-edge", "SCHED005",
+        "a flow consumer moved inside its producer's delay",
+        _mutant_sched005,
+    ),
+    Mutant(
+        "greedy-pseudo", "SCHED006", "START given a reservation table",
+        _mutant_sched006,
+    ),
+    Mutant(
+        "lost-alternative", "SCHED007",
+        "a real operation's alternative dropped", _mutant_sched007,
+    ),
+    Mutant(
+        "foreign-alternative", "SCHED008",
+        "an alternative from outside the opcode", _mutant_sched008,
+    ),
+    Mutant(
+        "mrt-collision", "SCHED009",
+        "two operations folded onto one MRT cell", _mutant_sched009,
+    ),
+    Mutant(
+        "linear-collision", "SCHED010",
+        "two list-scheduled operations co-issued on one ALU",
+        _mutant_sched010,
+    ),
+    Mutant(
+        "starved-unroll", "CODE001", "MVE kernel with unroll forced to 1",
+        _mutant_code001,
+    ),
+    Mutant(
+        "shifted-kernel-row", "CODE002",
+        "a kernel operation moved to the wrong row", _mutant_code002,
+    ),
+    Mutant(
+        "narrow-block", "CODE003",
+        "a rotating block narrower than its lifetime", _mutant_code003,
+    ),
+    Mutant(
+        "overlapping-blocks", "CODE004",
+        "two rotating blocks given the same base", _mutant_code004,
+    ),
+    Mutant(
+        "truncated-ramp", "CODE005", "the prologue's last row dropped",
+        _mutant_code005,
+    ),
+    Mutant(
+        "swapped-ramp-rows", "CODE006", "two prologue rows exchanged",
+        _mutant_code006,
+    ),
+    Mutant(
+        "unsealed-graph", "GRAPH001", "a graph that was never sealed",
+        _mutant_graph001,
+    ),
+    Mutant(
+        "sub-minimum-delay", "GRAPH002",
+        "a flow edge with delay below the hardware minimum",
+        _mutant_graph002,
+    ),
+    Mutant(
+        "zero-distance-circuit", "GRAPH003",
+        "a two-op circuit with no carried distance", _mutant_graph003,
+    ),
+    Mutant(
+        "dangling-vreg", "GRAPH004",
+        "a source register no operation defines", _mutant_graph004,
+    ),
+    Mutant(
+        "double-assignment", "GRAPH005", "one vreg assigned by two ops",
+        _mutant_graph005,
+    ),
+    Mutant(
+        "dead-resource", "MACH001", "a resource no table references",
+        _mutant_mach001,
+    ),
+    Mutant(
+        "dominated-alternative", "MACH002",
+        "an alternative strictly worse than an earlier one",
+        _mutant_mach002,
+    ),
+    Mutant(
+        "late-hold", "MACH003",
+        "a resource held at the opcode's latency", _mutant_mach003,
+    ),
+    Mutant(
+        "zero-latency", "MACH004", "an opcode with latency 0",
+        _mutant_mach004,
+    ),
+    Mutant(
+        "shaved-closure", "MIND001",
+        "a transitive MinDist entry reduced below closure",
+        _mutant_mind001,
+    ),
+    Mutant(
+        "wrong-recmii", "MIND002",
+        "a feasible matrix labelled with an infeasible RecMII",
+        _mutant_mind002,
+    ),
+    Mutant(
+        "stale-store", "SIM001",
+        "a store deferred past its dependent loads", _mutant_sim001,
+    ),
+    Mutant(
+        "early-consumer", "SIM002",
+        "a consumer issued before its producer completes", _mutant_sim002,
+    ),
+)
+
+#: code -> mutants keyed for the per-code regression assertion.
+MUTANTS_BY_CODE: Dict[str, Tuple[Mutant, ...]] = {}
+for _mutant in MUTANTS:
+    MUTANTS_BY_CODE.setdefault(_mutant.code, ())
+    MUTANTS_BY_CODE[_mutant.code] += (_mutant,)
+
+
+def mutant(name: str) -> Optional[Mutant]:
+    """Look up one mutant by name."""
+    for candidate in MUTANTS:
+        if candidate.name == name:
+            return candidate
+    return None

@@ -1,0 +1,199 @@
+"""The independent schedule validator (translation-validation style).
+
+Everything here is re-derived from first principles: the dependence-edge
+inequality ``t(succ) - t(pred) >= delay - II * distance`` is evaluated
+directly from the graph's edges, and modulo-reservation-table occupancy is
+rebuilt cell by cell from the *raw* ``(resource, offset)`` uses of each
+chosen reservation table.  No conflict-probe code is shared with the
+scheduler's bitmask fast path (:class:`repro.machine.CompiledMaskSet`):
+a miscompiled mask produces a schedule this validator rejects.
+
+Acyclic list schedules (``Schedule.modulo`` is False) are validated on a
+*linear* cycle grid instead — folding their resource uses modulo
+``II = SL`` would manufacture wrap-around conflicts the real (one
+iteration at a time) execution never has.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.check.diagnostics import Diagnostics
+from repro.core.schedule import Schedule
+from repro.ir.graph import DependenceGraph
+
+
+def check_schedule(
+    graph: DependenceGraph,
+    machine,
+    schedule: Schedule,
+    *,
+    codegen: bool = False,
+    unit: Optional[str] = None,
+    diagnostics: Optional[Diagnostics] = None,
+) -> Diagnostics:
+    """Validate ``schedule`` against its graph and machine from scratch.
+
+    Emits ``SCHED001``–``SCHED010`` findings; with ``codegen=True`` (and a
+    structurally sound modulo schedule) the codegen artifact cross-checks
+    of :mod:`repro.check.codegen` run as well (``CODE001``–``CODE006``).
+    """
+    diags = diagnostics if diagnostics is not None else Diagnostics()
+    unit = unit if unit is not None else f"loop {graph.name!r}"
+    ii = schedule.ii
+    times = schedule.times
+    modulo = getattr(schedule, "modulo", True)
+
+    if ii < 1:
+        diags.add("SCHED001", f"II must be >= 1, got {ii}", unit=unit, ii=ii)
+        return diags
+    missing = False
+    for op in range(graph.n_ops):
+        if op not in times:
+            diags.add(
+                "SCHED002",
+                f"operation {op} is not scheduled",
+                unit=unit,
+                obj=f"op {op}",
+                op=op,
+            )
+            missing = True
+    if missing:
+        return diags
+
+    if times[graph.START] != 0:
+        diags.add(
+            "SCHED003",
+            f"START scheduled at {times[graph.START]}, expected 0",
+            unit=unit,
+            obj="START",
+            time=times[graph.START],
+        )
+    for op in sorted(times):
+        if times[op] < 0:
+            diags.add(
+                "SCHED004",
+                f"operation {op} scheduled at negative time {times[op]}",
+                unit=unit,
+                obj=f"op {op}",
+                op=op,
+                time=times[op],
+            )
+
+    # Re-derive every dependence-edge inequality from the edge list; the
+    # required separation delay - II*distance is computed here, not taken
+    # from any scheduler bookkeeping.
+    for edge in graph.edges:
+        gap = times[edge.succ] - times[edge.pred]
+        required = edge.delay - ii * edge.distance
+        if gap < required:
+            diags.add(
+                "SCHED005",
+                f"dependence violated: {edge.describe()} "
+                f"(gap {gap} < required {required} at II={ii})",
+                unit=unit,
+                obj=f"edge {edge.pred} -> {edge.succ}",
+                pred=edge.pred,
+                succ=edge.succ,
+                kind=edge.kind.value,
+                distance=edge.distance,
+                delay=edge.delay,
+                gap=gap,
+                required=required,
+            )
+
+    _check_reservations(graph, machine, schedule, modulo, unit, diags)
+
+    if codegen and modulo and diags.ok:
+        from repro.check.codegen import check_codegen
+
+        check_codegen(graph, schedule, unit=unit, diagnostics=diags)
+    return diags
+
+
+def _check_reservations(
+    graph: DependenceGraph,
+    machine,
+    schedule: Schedule,
+    modulo: bool,
+    unit: str,
+    diags: Diagnostics,
+) -> None:
+    """Rebuild reservation occupancy from raw uses and report conflicts.
+
+    For a modulo schedule the cell grid is ``(resource, (t + offset) mod
+    II)``; for a linear (list) schedule it is ``(resource, t + offset)``
+    on the unbounded cycle axis.
+    """
+    ii = schedule.ii
+    times = schedule.times
+    cells: Dict[Tuple[str, int], int] = {}
+    for op in range(graph.n_ops):
+        operation = graph.operation(op)
+        alternative = schedule.alternatives.get(op)
+        if operation.is_pseudo:
+            if alternative is not None:
+                diags.add(
+                    "SCHED006",
+                    f"pseudo-operation {op} holds resources",
+                    unit=unit,
+                    obj=f"op {op}",
+                    op=op,
+                )
+            continue
+        if alternative is None:
+            diags.add(
+                "SCHED007",
+                f"operation {op} has no reservation alternative",
+                unit=unit,
+                obj=f"op {op}",
+                op=op,
+            )
+            continue
+        # A compiled alternative may appear in hand-built schedules; use
+        # its raw source table — never its masks.
+        table = getattr(alternative, "table", alternative)
+        opcode = machine.opcode(operation.opcode)
+        if table not in opcode.alternatives:
+            diags.add(
+                "SCHED008",
+                f"operation {op} uses alternative {table.name!r} "
+                f"not belonging to opcode {operation.opcode!r}",
+                unit=unit,
+                obj=f"op {op}",
+                op=op,
+                alternative=table.name,
+                opcode=operation.opcode,
+            )
+            continue
+        for resource, offset in table.uses:
+            if modulo:
+                cell = (resource, (times[op] + offset) % ii)
+            else:
+                cell = (resource, times[op] + offset)
+            holder = cells.get(cell)
+            if holder is None:
+                cells[cell] = op
+            elif modulo:
+                diags.add(
+                    "SCHED009",
+                    f"modulo constraint violated: operations {holder} and "
+                    f"{op} both use {resource!r} at slot {cell[1]} (II={ii})",
+                    unit=unit,
+                    obj=f"resource {resource}",
+                    ops=[holder, op],
+                    resource=resource,
+                    slot=cell[1],
+                    ii=ii,
+                )
+            else:
+                diags.add(
+                    "SCHED010",
+                    f"linear reservation conflict: operations {holder} and "
+                    f"{op} both use {resource!r} at cycle {cell[1]}",
+                    unit=unit,
+                    obj=f"resource {resource}",
+                    ops=[holder, op],
+                    resource=resource,
+                    cycle=cell[1],
+                )

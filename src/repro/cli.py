@@ -7,6 +7,8 @@ Usage (see ``python -m repro --help``)::
     python -m repro schedule loop.dsl --budget-ratio 2 --verify 50 --kernel
     python -m repro schedule loop.dsl --json > schedule.json
     python -m repro corpus --loops 200
+    python -m repro check --loops 200 --jobs 2 --json check.json
+    python -m repro lint --all-machines
 
 ``loop.dsl`` contains a single DSL loop, e.g.::
 
@@ -246,6 +248,147 @@ def _cmd_schedule(args, out) -> int:
     return 0
 
 
+def _cmd_lint(args, out) -> int:
+    """Run the static linters over machines (and optionally one loop)."""
+    import inspect
+
+    from repro.check import (
+        Diagnostics,
+        lint_graph,
+        lint_machine,
+        lint_mindist,
+        waivers_in_source,
+    )
+
+    diags = Diagnostics()
+    names = sorted(MACHINES) if args.all_machines else [args.machine]
+    for name in names:
+        factory = MACHINES[name]
+        machine = factory()
+        waivers = waivers_in_source(inspect.getmodule(factory))
+        diags.extend(lint_machine(machine, waivers=waivers))
+    if args.file is not None:
+        lowered, machine = _compile(args, out)
+        lint_graph(lowered.graph, diagnostics=diags)
+        lint_mindist(lowered.graph, machine, diagnostics=diags)
+    print(diags.render(), file=out)
+    if args.json:
+        from pathlib import Path
+
+        document = diags.to_dict(
+            run={"command": "lint", "machines": names, "file": args.file}
+        )
+        Path(args.json).write_text(json.dumps(document, indent=2) + "\n")
+        print(f"diagnostics written to {args.json}", file=out)
+    return 0 if diags.ok else 1
+
+
+def _cmd_check(args, out) -> int:
+    """Statically validate one loop's schedule, or a whole corpus."""
+    from pathlib import Path
+
+    from repro.check import Diagnostics, check_schedule
+
+    if args.file is not None:
+        lowered, machine = _compile(args, out)
+        result = modulo_schedule(
+            lowered.graph, machine, budget_ratio=args.budget_ratio
+        )
+        diags = check_schedule(
+            lowered.graph, machine, result.schedule, codegen=True
+        )
+        print(
+            f"{lowered.graph.name}: II={result.ii} "
+            f"SL={result.schedule_length}",
+            file=out,
+        )
+        print(diags.render(), file=out)
+        if args.json:
+            document = diags.to_dict(
+                run={"command": "check", "file": args.file,
+                     "machine": args.machine}
+            )
+            Path(args.json).write_text(json.dumps(document, indent=2) + "\n")
+            print(f"diagnostics written to {args.json}", file=out)
+        return 0 if diags.ok else 1
+
+    # Corpus mode: the evaluation engine in strict --check mode; every
+    # schedule (degraded-ladder fallbacks included) passes through the
+    # independent validator before it is cached or counted.
+    from repro.analysis.engine import EvaluationEngine
+    from repro.analysis.resilience import RetryPolicy
+    from repro.workloads import build_corpus
+    from repro.workloads.kernels import KERNELS
+
+    machine = MACHINES[args.machine]()
+    n_synthetic = max(0, args.loops - len(KERNELS))
+    corpus = build_corpus(machine, n_synthetic=n_synthetic, seed=args.seed)
+    try:
+        engine = EvaluationEngine(
+            machine,
+            budget_ratio=args.budget_ratio,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            use_cache=not args.no_cache,
+            verify_iterations=args.verify,
+            check=True,
+            retry_policy=RetryPolicy(max_retries=args.retries),
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        result = engine.evaluate(corpus)
+    except OSError as exc:
+        print(f"error: cache directory unusable: {exc}", file=sys.stderr)
+        return 2
+    diags = Diagnostics()
+    other_failures = []
+    for failure in result.failures:
+        entries = (
+            failure.detail.get("diagnostics")
+            if failure.phase == "check"
+            else None
+        )
+        if entries:
+            for entry in entries:
+                diags.add(
+                    entry.get("code", "SCHED005"),
+                    f"{failure.loop_name}: {entry.get('message', '')}",
+                    unit=entry.get("unit", failure.loop_name),
+                    obj=entry.get("obj"),
+                )
+        else:
+            other_failures.append(failure)
+    checked = len(result.evaluations)
+    print(
+        f"checked {checked}/{len(corpus)} schedules on {machine.name!r}: "
+        f"{len(result.failures)} rejection(s) "
+        f"({result.describe()})",
+        file=out,
+    )
+    print(diags.render(), file=out)
+    for failure in other_failures:
+        print(f"  FAILED {failure.describe()}", file=out)
+    if args.json:
+        document = diags.to_dict(
+            run={
+                "command": "check",
+                "machine": args.machine,
+                "loops": args.loops,
+                "seed": args.seed,
+                "jobs": engine.jobs,
+            },
+            checked=checked,
+            failures=[f.to_dict() for f in result.failures],
+            wall_seconds=result.wall_seconds,
+            cache={"hits": result.hits, "misses": result.misses},
+        )
+        Path(args.json).write_text(json.dumps(document, indent=2) + "\n")
+        print(f"diagnostics written to {args.json}", file=out)
+    return 0 if result.ok and diags.ok else 1
+
+
 def _cmd_corpus(args, out) -> int:
     from collections import Counter
 
@@ -285,6 +428,7 @@ def _cmd_corpus(args, out) -> int:
             journal_path=args.journal,
             resume=args.resume,
             quarantine_path=args.quarantine,
+            check=args.check,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -473,8 +617,74 @@ def build_parser() -> argparse.ArgumentParser:
         help="where terminal failures are recorded as quarantine.json "
              "(default <cache-dir>/quarantine.json when caching)",
     )
+    corpus.add_argument(
+        "--check", action="store_true",
+        help="strict mode: statically validate every schedule (including "
+             "degraded fallbacks) with the independent checker before "
+             "caching or counting it",
+    )
     _obs_arguments(corpus)
     corpus.set_defaults(handler=_cmd_corpus)
+
+    check = commands.add_parser(
+        "check",
+        help="statically validate schedules with the independent checker",
+    )
+    check.add_argument(
+        "file", nargs="?", default=None,
+        help="DSL file to schedule and check ('-' for stdin); omit to "
+             "check the whole corpus through the evaluation engine",
+    )
+    _machine_argument(check)
+    check.add_argument("--loops", type=int, default=200)
+    check.add_argument("--seed", type=int, default=0)
+    check.add_argument("--budget-ratio", type=float, default=6.0)
+    check.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for corpus mode (0 = one per CPU)",
+    )
+    check.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="content-addressed result cache directory (cache hits are "
+             "re-validated before being trusted)",
+    )
+    check.add_argument(
+        "--no-cache", action="store_true",
+        help="neither read nor write the result cache",
+    )
+    check.add_argument(
+        "--verify", type=int, default=0, metavar="N",
+        help="also simulate N iterations against the sequential oracle",
+    )
+    check.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="re-executions granted after a transient failure",
+    )
+    check.add_argument(
+        "--json", default=None, metavar="FILE",
+        help="write the repro.check.v1 diagnostics document to FILE",
+    )
+    check.set_defaults(handler=_cmd_check)
+
+    lint = commands.add_parser(
+        "lint",
+        help="lint machine descriptions (and optionally one DSL loop)",
+    )
+    lint.add_argument(
+        "file", nargs="?", default=None,
+        help="DSL file whose graph and MinDist matrix to lint "
+             "('-' for stdin)",
+    )
+    _machine_argument(lint)
+    lint.add_argument(
+        "--all-machines", action="store_true",
+        help="lint every shipped machine description, not just --machine",
+    )
+    lint.add_argument(
+        "--json", default=None, metavar="FILE",
+        help="write the repro.check.v1 diagnostics document to FILE",
+    )
+    lint.set_defaults(handler=_cmd_lint)
     return parser
 
 

@@ -29,6 +29,11 @@ class Schedule:
     alternatives:
         The reservation-table alternative chosen per operation (``None``
         for pseudo-operations).
+    modulo:
+        True for a modulo schedule (resource uses fold at ``t mod II``);
+        False for an acyclic list schedule, whose reservations live on a
+        linear cycle axis and must not be folded — validators use this to
+        pick the right occupancy grid.
     """
 
     graph: DependenceGraph
@@ -37,6 +42,7 @@ class Schedule:
     alternatives: Dict[int, Optional[ReservationTable]] = field(
         default_factory=dict
     )
+    modulo: bool = True
 
     def time(self, op: int) -> int:
         """Issue time of operation ``op`` within its iteration."""

@@ -1,4 +1,4 @@
-"""Static legality checks for modulo schedules.
+"""Static legality checks for modulo schedules (legacy string API).
 
 A legal modulo schedule must satisfy (Section 1):
 
@@ -10,15 +10,18 @@ A legal modulo schedule must satisfy (Section 1):
 * structural sanity: every operation scheduled, START at 0, non-negative
   times, and each chosen alternative belongs to the operation's opcode.
 
-These checks are independent of the scheduler's own bookkeeping — the MRT
-is rebuilt from scratch — so they catch scheduler bugs rather than
-inheriting them.  The dynamic end-to-end check (running the generated code
-on the simulator) lives in :mod:`repro.simulator`.
+The actual checking now lives in :mod:`repro.check.validate`, which
+re-derives every constraint from first principles (sharing no conflict-
+probe code with the scheduler) and reports structured
+:class:`~repro.check.diagnostics.Diagnostic` records; this module keeps
+the original plain-string API on top of it.  The dynamic end-to-end check
+(running the generated code on the simulator) lives in
+:mod:`repro.simulator`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import List
 
 from repro.core.schedule import Schedule
 from repro.ir.graph import DependenceGraph
@@ -28,62 +31,9 @@ def validate_schedule(
     graph: DependenceGraph, machine, schedule: Schedule
 ) -> List[str]:
     """Return a list of violation descriptions (empty when legal)."""
-    problems: List[str] = []
-    ii = schedule.ii
-    times = schedule.times
+    from repro.check.validate import check_schedule
 
-    if ii < 1:
-        problems.append(f"II must be >= 1, got {ii}")
-        return problems
-    for op in range(graph.n_ops):
-        if op not in times:
-            problems.append(f"operation {op} is not scheduled")
-    if problems:
-        return problems
-    if times[graph.START] != 0:
-        problems.append(f"START scheduled at {times[graph.START]}, expected 0")
-    for op, t in times.items():
-        if t < 0:
-            problems.append(f"operation {op} scheduled at negative time {t}")
-
-    for edge in graph.edges:
-        gap = times[edge.succ] - times[edge.pred]
-        required = edge.delay - ii * edge.distance
-        if gap < required:
-            problems.append(
-                f"dependence violated: {edge.describe()} "
-                f"(gap {gap} < required {required} at II={ii})"
-            )
-
-    cells: Dict[Tuple[str, int], int] = {}
-    for op in range(graph.n_ops):
-        operation = graph.operation(op)
-        alternative = schedule.alternatives.get(op)
-        if operation.is_pseudo:
-            if alternative is not None:
-                problems.append(f"pseudo-operation {op} holds resources")
-            continue
-        if alternative is None:
-            problems.append(f"operation {op} has no reservation alternative")
-            continue
-        opcode = machine.opcode(operation.opcode)
-        if alternative not in opcode.alternatives:
-            problems.append(
-                f"operation {op} uses alternative {alternative.name!r} "
-                f"not belonging to opcode {operation.opcode!r}"
-            )
-            continue
-        for resource, offset in alternative.uses:
-            cell = (resource, (times[op] + offset) % ii)
-            holder = cells.get(cell)
-            if holder is not None:
-                problems.append(
-                    f"modulo constraint violated: operations {holder} and "
-                    f"{op} both use {resource!r} at slot {cell[1]} (II={ii})"
-                )
-            else:
-                cells[cell] = op
-    return problems
+    return check_schedule(graph, machine, schedule).messages()
 
 
 def assert_valid_schedule(

@@ -135,6 +135,7 @@ def schedule_to_dict(schedule: Schedule, machine) -> Dict[str, Any]:
         "ii": schedule.ii,
         "times": {str(op): t for op, t in schedule.times.items()},
         "alternatives": alternatives,
+        "modulo": schedule.modulo,
     }
 
 
@@ -161,7 +162,10 @@ def schedule_from_dict(data: Dict[str, Any], machine) -> Schedule:
                 f"{graph.operation(op).opcode!r}"
             )
         alternatives[op] = matches[0]
-    return Schedule(graph, data["ii"], times, alternatives)
+    # Documents written before the flag existed are all modulo schedules.
+    return Schedule(
+        graph, data["ii"], times, alternatives, modulo=data.get("modulo", True)
+    )
 
 
 def schedule_to_json(schedule: Schedule, machine, indent: Optional[int] = None) -> str:

@@ -1,4 +1,15 @@
-"""End-to-end equivalence: pipelined execution versus the sequential oracle."""
+"""End-to-end equivalence: pipelined execution versus the sequential oracle.
+
+Two failure modes are distinguished and reported through the shared
+diagnostics framework (:mod:`repro.check.diagnostics`):
+
+* ``SIM001`` — the executions both completed but final state differs
+  (a value-level mismatch: wrong array cell, wrong scalar);
+* ``SIM002`` — the pipelined executor aborted with a dynamic dependence
+  violation (an operand read before its producer completed), whose
+  message names the offending operations, the cycle, and the violated
+  edge's distance/delay.
+"""
 
 from __future__ import annotations
 
@@ -7,32 +18,60 @@ from typing import List, Optional
 
 from repro.core.schedule import Schedule
 from repro.loopir.lower import LoweredLoop
-from repro.simulator.pipeline import run_pipelined
+from repro.simulator.pipeline import SimulationError, run_pipelined
 from repro.simulator.reference import run_reference
 from repro.simulator.state import LoopState, make_initial_state
 
 
 @dataclass
 class EquivalenceReport:
-    """Result of one equivalence check."""
+    """Result of one equivalence check.
+
+    ``problems`` lists value-level state mismatches; ``error`` carries
+    the :class:`SimulationError` message when the pipelined execution
+    aborted before state could be compared.
+    """
 
     loop_name: str
     n: int
     ii: int
     problems: List[str] = field(default_factory=list)
+    error: Optional[str] = None
 
     @property
     def ok(self) -> bool:
         """True when the two executions produced identical state."""
-        return not self.problems
+        return not self.problems and self.error is None
+
+    def diagnostics(self):
+        """The findings as a :class:`~repro.check.Diagnostics` set."""
+        from repro.check import Diagnostics
+
+        diags = Diagnostics()
+        if self.error is not None:
+            diags.add(
+                "SIM002", self.error, unit=self.loop_name, n=self.n,
+                ii=self.ii,
+            )
+        for problem in self.problems:
+            diags.add(
+                "SIM001", problem, unit=self.loop_name, n=self.n,
+                ii=self.ii,
+            )
+        return diags
 
     def describe(self) -> str:
-        """One-line verdict plus the first mismatches, if any."""
-        status = "OK" if self.ok else f"{len(self.problems)} mismatches"
+        """One-line verdict plus the rendered findings, if any."""
+        if self.ok:
+            status = "OK"
+        elif self.error is not None:
+            status = "simulation aborted"
+        else:
+            status = f"{len(self.problems)} mismatches"
         head = f"{self.loop_name}: n={self.n}, II={self.ii}: {status}"
         if self.ok:
             return head
-        return head + "\n  " + "\n  ".join(self.problems[:20])
+        return head + "\n" + self.diagnostics().render(limit=20)
 
 
 def check_equivalence(
@@ -41,17 +80,28 @@ def check_equivalence(
     n: int = 40,
     seed: int = 0,
     state: Optional[LoopState] = None,
+    check_ready: bool = True,
 ) -> EquivalenceReport:
     """Run both executors from the same initial state and diff the results.
 
     The initial state is random but seeded (see
     :func:`repro.simulator.state.make_initial_state`) unless one is
-    supplied; the supplied state is not mutated.
+    supplied; the supplied state is not mutated.  A dynamic dependence
+    violation in the pipelined run becomes the report's ``error`` rather
+    than propagating (``check_ready=False`` disables that detector, so
+    an edge violation shows up as state mismatches instead).
     """
     if state is None:
         state = make_initial_state(lowered, n, seed)
     reference = run_reference(lowered.loop, state.copy(), n)
-    pipelined = run_pipelined(lowered, schedule, state.copy(), n)
+    try:
+        pipelined = run_pipelined(
+            lowered, schedule, state.copy(), n, check_ready=check_ready
+        )
+    except SimulationError as exc:
+        return EquivalenceReport(
+            loop_name=lowered.loop.name, n=n, ii=schedule.ii, error=str(exc)
+        )
     return EquivalenceReport(
         loop_name=lowered.loop.name,
         n=n,

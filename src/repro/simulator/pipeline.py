@@ -124,7 +124,18 @@ class _Executor:
             "initial value"
         )
 
-    def _operand(self, descriptor: tuple, k: int, use_time: int):
+    def _flow_edge(self, producer: int, consumer: int, distance: int):
+        """The graph's flow edge behind an operand read, if it has one."""
+        for edge in self.graph.succ_edges(producer):
+            if (
+                edge.succ == consumer
+                and edge.distance == distance
+                and edge.kind.value == "flow"
+            ):
+                return edge
+        return None
+
+    def _operand(self, descriptor: tuple, k: int, use_time: int, consumer: int):
         kind = descriptor[0]
         if kind == "const":
             return descriptor[1]
@@ -148,17 +159,30 @@ class _Executor:
                 + self.graph.latency(producer)
             )
             if use_time < available:
+                edge = self._flow_edge(producer, consumer, distance)
+                edge_text = (
+                    f"edge {edge.pred}->{edge.succ} distance={edge.distance} "
+                    f"delay={edge.delay}"
+                    if edge is not None
+                    else f"implicit flow {producer}->{consumer} "
+                    f"distance={distance} "
+                    f"latency={self.graph.latency(producer)}"
+                )
                 raise SimulationError(
-                    f"operand of iteration {k} read at cycle {use_time} "
-                    f"before producer {producer} (iteration {j}) completes "
-                    f"at cycle {available}"
+                    f"dynamic dependence violated at cycle {use_time}: op "
+                    f"{consumer} ({self.graph.operation(consumer).opcode!r}, "
+                    f"iteration {k}, t={self.schedule.times[consumer]}) reads "
+                    f"op {producer} "
+                    f"({self.graph.operation(producer).opcode!r}, iteration "
+                    f"{j}, t={self.schedule.times[producer]}) before it "
+                    f"completes at cycle {available}; violated {edge_text}"
                 )
         try:
             return self.values[(producer, j)]
         except KeyError:
             raise SimulationError(
-                f"value of operation {producer} iteration {j} requested "
-                "before it executed"
+                f"op {consumer} at cycle {use_time} requested the value of "
+                f"op {producer} iteration {j} before it executed"
             ) from None
 
     # -- one operation instance ---------------------------------------------
@@ -170,26 +194,26 @@ class _Executor:
         if opcode == "load":
             array = self.state.arrays[operation.attrs["array"]]
             # Touch the address operand so readiness is checked.
-            self._operand(operands[0], k, issue)
+            self._operand(operands[0], k, issue, op)
             if operation.attrs.get("indirect"):
-                position = int(self._operand(operands[1], k, issue))
+                position = int(self._operand(operands[1], k, issue, op))
             else:
                 position = k + operation.attrs["offset"]
             self.values[(op, k)] = array[position]
             return
         if opcode == "store":
             address, value = operands[0], operands[1]
-            self._operand(address, k, issue)
-            committed = self._operand(value, k, issue)
+            self._operand(address, k, issue, op)
+            committed = self._operand(value, k, issue, op)
             cursor = 2
             if operation.attrs.get("indirect"):
-                position = int(self._operand(operands[cursor], k, issue))
+                position = int(self._operand(operands[cursor], k, issue, op))
                 cursor += 1
             else:
                 position = k + operation.attrs["offset"]
             take = True
             if operation.attrs.get("predicated"):
-                take = bool(self._operand(operands[cursor], k, issue))
+                take = bool(self._operand(operands[cursor], k, issue, op))
             if take:
                 commits.append(
                     (
@@ -209,10 +233,10 @@ class _Executor:
             return
         if operation.attrs.get("role") in ("address", "ivar"):
             # Address/induction recurrences produce the iteration index.
-            self._operand(operands[0], k, issue)
+            self._operand(operands[0], k, issue, op)
             self.values[(op, k)] = float(k + 1)
             return
-        args = [self._operand(d, k, issue) for d in operands]
+        args = [self._operand(d, k, issue, op) for d in operands]
         if opcode == "select":
             predicate, if_true, if_false = args
             self.values[(op, k)] = if_true if bool(predicate) else if_false

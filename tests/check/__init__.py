@@ -1,0 +1,1 @@
+"""Tests of the static verification and lint subsystem."""

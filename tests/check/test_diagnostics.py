@@ -1,0 +1,102 @@
+"""The diagnostics framework: codes, severities, waivers, renderers."""
+
+import json
+
+import pytest
+
+from repro.check import (
+    CODES,
+    Diagnostics,
+    Severity,
+    apply_waivers,
+    parse_waivers,
+    render_human,
+    waivers_in_source,
+)
+
+
+class TestRegistry:
+    def test_every_code_has_severity_and_summary(self):
+        for code, (severity, summary) in CODES.items():
+            assert isinstance(severity, Severity)
+            assert summary
+
+    def test_code_families_present(self):
+        families = {code.rstrip("0123456789") for code in CODES}
+        assert families == {"SCHED", "CODE", "GRAPH", "MACH", "MIND", "SIM",
+                            "LINT"}
+
+    def test_unregistered_code_rejected(self):
+        diags = Diagnostics()
+        with pytest.raises(ValueError):
+            diags.add("NOPE999", "made up")
+
+
+class TestDiagnostics:
+    def test_add_uses_default_severity(self):
+        diags = Diagnostics()
+        diags.add("SCHED005", "edge broken", unit="loop 'x'")
+        (finding,) = list(diags)
+        assert finding.severity is Severity.ERROR
+        assert not diags.ok
+        assert diags.codes() == ["SCHED005"]
+
+    def test_severity_override_and_counts(self):
+        diags = Diagnostics()
+        diags.add("GRAPH002", "off-model", severity=Severity.ERROR)
+        diags.add("MACH001", "dead resource")
+        assert len(diags.errors) == 1
+        assert len(diags.warnings) == 1
+        assert not diags.ok  # warnings alone would be ok
+
+    def test_warnings_do_not_fail(self):
+        diags = Diagnostics()
+        diags.add("MACH001", "dead resource")
+        assert diags.ok
+
+    def test_render_groups_errors_first(self):
+        diags = Diagnostics()
+        diags.add("MACH001", "a warning")
+        diags.add("SCHED005", "an error")
+        text = render_human(diags)
+        assert text.index("SCHED005") < text.index("MACH001")
+        assert "1 error" in text
+
+    def test_json_document_round_trips(self):
+        diags = Diagnostics()
+        diags.add("SCHED009", "conflict", unit="loop 'x'", obj="resource alu",
+                  slot=3)
+        document = json.loads(diags.to_json(run={"command": "test"}))
+        assert document["format"] == "repro.check.v1"
+        assert document["counts"]["error"] == 1
+        (entry,) = document["diagnostics"]
+        assert entry["code"] == "SCHED009"
+        assert entry["detail"]["slot"] == 3
+        assert document["run"] == {"command": "test"}
+
+
+class TestWaivers:
+    def test_parse_waivers(self):
+        text = "x = 1  # lint: waive(MACH001)\ny = 2  # lint: waive(MACH002, MACH003)\n"
+        assert parse_waivers(text) == frozenset(
+            {"MACH001", "MACH002", "MACH003"}
+        )
+
+    def test_waivers_in_source_of_function(self):
+        def machine_factory():
+            resources = ("alu", "spare")  # lint: waive(MACH001)
+            return resources
+
+        assert waivers_in_source(machine_factory) == frozenset({"MACH001"})
+
+    def test_apply_waivers_downgrades_to_lint000(self):
+        diags = Diagnostics()
+        diags.add("MACH001", "dead resource", unit="machine 'm'")
+        diags.add("MACH003", "late hold", unit="machine 'm'")
+        waived = apply_waivers(diags, {"MACH001"})
+        codes = waived.codes()
+        assert "LINT000" in codes and "MACH003" in codes
+        assert "MACH001" not in codes
+        lint = next(d for d in waived if d.code == "LINT000")
+        assert lint.severity is Severity.INFO
+        assert lint.detail["waived_code"] == "MACH001"

@@ -1,0 +1,71 @@
+"""Lint passes: registry, graph/mindist cleanliness on production input."""
+
+from repro.check import lint_graph, lint_mindist, registered_passes
+from repro.check.lint import check_mindist_matrix
+from repro.core.mii import compute_mii
+from repro.core.mindist import compute_mindist
+from repro.loopir import compile_loop_full
+from repro.machine import single_alu_machine
+
+DOT = "for i in n:\n    s = s + x[i] * y[i]\n"
+
+
+class TestRegistry:
+    def test_targets_covered(self):
+        targets = {p.target for p in registered_passes()}
+        assert targets == {"graph", "machine", "mindist"}
+
+    def test_pass_names_unique_and_described(self):
+        passes = registered_passes()
+        names = [p.name for p in passes]
+        assert len(set(names)) == len(names)
+        for lint in passes:
+            assert lint.codes
+            assert lint.describe().startswith(lint.name)
+
+    def test_target_filter(self):
+        machine_passes = registered_passes("machine")
+        assert machine_passes
+        assert all(p.target == "machine" for p in machine_passes)
+
+
+class TestFrontEndGraphsAreClean:
+    def test_lint_graph_clean(self):
+        machine = single_alu_machine()
+        lowered = compile_loop_full(DOT, machine)
+        diags = lint_graph(lowered.graph)
+        assert diags.ok, diags.render()
+        assert len(diags) == 0
+
+    def test_lint_mindist_clean(self):
+        machine = single_alu_machine()
+        lowered = compile_loop_full(DOT, machine)
+        diags = lint_mindist(lowered.graph, machine)
+        assert diags.ok, diags.render()
+
+
+class TestMindistMatrix:
+    def test_production_matrix_passes(self):
+        machine = single_alu_machine()
+        lowered = compile_loop_full(DOT, machine)
+        mii = compute_mii(lowered.graph, machine, exact=True)
+        for ii in (mii.rec_mii, mii.rec_mii + 1):
+            dist, _ = compute_mindist(lowered.graph, ii)
+            diags = check_mindist_matrix(
+                dist, ii, mii.rec_mii, rec_mii_exact=mii.rec_mii_exact
+            )
+            assert diags.ok, diags.render()
+
+    def test_infeasible_ii_has_positive_diagonal(self):
+        """Below RecMII the diagonal goes positive — and MIND002 agrees."""
+        machine = single_alu_machine()
+        lowered = compile_loop_full(DOT, machine)
+        mii = compute_mii(lowered.graph, machine, exact=True)
+        if mii.rec_mii < 2:
+            return  # no infeasible II to probe
+        ii = mii.rec_mii - 1
+        dist, _ = compute_mindist(lowered.graph, ii)
+        diags = check_mindist_matrix(
+            dist, ii, mii.rec_mii, rec_mii_exact=mii.rec_mii_exact
+        )
+        assert diags.ok, diags.render()

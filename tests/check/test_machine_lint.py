@@ -1,0 +1,79 @@
+"""Satellite: the machine-description linter over every shipped machine.
+
+The shipped machines must be clean (or explicitly waived with an inline
+``# lint: waive(CODE)`` comment in their defining module); the waiver
+mechanism itself is exercised against a synthetic machine whose factory
+carries the comment.
+"""
+
+import inspect
+
+import pytest
+
+from repro.check import lint_machine, waivers_in_source
+from repro.machine import (
+    bus_conflict_machine,
+    cydra5,
+    single_alu_machine,
+    superscalar_machine,
+    two_alu_machine,
+)
+
+FACTORIES = {
+    "cydra5": cydra5,
+    "single_alu": single_alu_machine,
+    "two_alu": two_alu_machine,
+    "superscalar": superscalar_machine,
+    "bus_conflict": bus_conflict_machine,
+}
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+def test_shipped_machine_clean_or_waived(name):
+    factory = FACTORIES[name]
+    machine = factory()
+    waivers = waivers_in_source(inspect.getmodule(factory))
+    diags = lint_machine(machine, waivers=waivers)
+    unwaived = [d for d in diags if d.code != "LINT000"]
+    assert not unwaived, diags.render()
+
+
+def _waived_machine():  # lint: waive(MACH001)
+    """A machine with a deliberately dead resource, waived inline."""
+    from repro.machine.machine import MachineDescription
+    from repro.machine.opcodes import Opcode
+    from repro.machine.resources import ReservationTable
+
+    return MachineDescription(
+        "waived_dead_resource",
+        ("alu", "spare_bus"),
+        [Opcode("add", 1, [ReservationTable("alu", [("alu", 0)])])],
+    )
+
+
+class TestWaiverMechanism:
+    def test_finding_fires_without_waiver(self):
+        diags = lint_machine(_waived_machine())
+        assert "MACH001" in diags.codes()
+
+    def test_inline_comment_waives_the_finding(self):
+        machine = _waived_machine()
+        waivers = waivers_in_source(_waived_machine)
+        assert waivers == frozenset({"MACH001"})
+        diags = lint_machine(machine, waivers=waivers)
+        assert "MACH001" not in diags.codes()
+        assert "LINT000" in diags.codes()
+        assert diags.ok  # waived findings are informational
+
+    def test_waiver_does_not_hide_other_codes(self):
+        from repro.machine.machine import MachineDescription
+        from repro.machine.opcodes import Opcode
+        from repro.machine.resources import ReservationTable
+
+        machine = MachineDescription(
+            "waived_but_late",
+            ("alu", "spare_bus"),
+            [Opcode("add", 1, [ReservationTable("alu", [("alu", 0), ("alu", 1)])])],
+        )
+        diags = lint_machine(machine, waivers={"MACH001"})
+        assert "MACH003" in diags.codes()

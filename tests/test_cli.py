@@ -121,6 +121,71 @@ class TestCorpus:
         assert "0 failures" in text
 
 
+class TestCheck:
+    def test_single_file_check_passes(self, dot_file):
+        code, text = _run(["check", dot_file])
+        assert code == 0
+        assert "II=" in text and "no findings" in text
+
+    def test_single_file_json_document(self, dot_file, tmp_path):
+        out_path = tmp_path / "check.json"
+        code, _ = _run(["check", dot_file, "--json", str(out_path)])
+        assert code == 0
+        data = json.load(open(out_path))
+        assert data["format"] == "repro.check.v1"
+        assert data["counts"]["error"] == 0
+
+    def test_corpus_check_passes(self, tmp_path):
+        out_path = tmp_path / "check.json"
+        code, text = _run(
+            ["check", "--loops", "66", "--jobs", "2",
+             "--json", str(out_path)]
+        )
+        assert code == 0
+        assert "0 rejection(s)" in text
+        data = json.load(open(out_path))
+        assert data["format"] == "repro.check.v1"
+        assert data["checked"] == 66
+
+    def test_corpus_flag_strict_mode(self):
+        code, text = _run(["corpus", "--loops", "66", "--check"])
+        assert code == 0
+        assert "0 failures" in text
+
+    def test_unusable_cache_dir_rejected_cleanly(self, tmp_path, capsys):
+        not_a_dir = tmp_path / "file"
+        not_a_dir.write_text("")
+        code, _ = _run(
+            ["check", "--loops", "66", "--cache-dir", str(not_a_dir)]
+        )
+        assert code == 2
+        assert "cache directory unusable" in capsys.readouterr().err
+
+
+class TestLint:
+    def test_single_machine_clean(self):
+        code, text = _run(["lint", "--machine", "cydra5"])
+        assert code == 0
+        assert "no findings" in text
+
+    def test_all_machines_clean(self):
+        code, text = _run(["lint", "--all-machines"])
+        assert code == 0
+
+    def test_file_lints_graph_and_mindist(self, dot_file):
+        code, text = _run(["lint", dot_file])
+        assert code == 0
+        assert "no findings" in text
+
+    def test_json_document(self, tmp_path):
+        out_path = tmp_path / "lint.json"
+        code, _ = _run(["lint", "--all-machines", "--json", str(out_path)])
+        assert code == 0
+        data = json.load(open(out_path))
+        assert data["format"] == "repro.check.v1"
+        assert "cydra5" in data["run"]["machines"]
+
+
 class TestObservability:
     def test_traced_corpus_run_covers_every_phase(self, tmp_path):
         """Acceptance: one traced run emits schema-valid repro.obs.v1
