@@ -83,11 +83,13 @@ from repro.analysis.resilience import (
     write_quarantine,
 )
 from repro.analysis.runner import LoopEvaluation
+from repro.backends import IIPolicy, get_backend
 from repro.baselines.list_scheduler import list_schedule, list_schedule_length
 from repro.core.mii import MIIResult, compute_mii, res_mii
 from repro.core.mindist import schedule_length_lower_bound
 from repro.core.scc import strongly_connected_components
 from repro.core.scheduler import (
+    AttemptRecord,
     ModuloScheduleResult,
     SchedulingFailure,
     modulo_schedule,
@@ -102,7 +104,7 @@ from repro.workloads.corpus import CorpusLoop
 #: whenever the meaning of a cached payload changes (new measurements, a
 #: scheduler fix that alters results, a payload schema change) so stale
 #: entries are never resurrected.
-CODE_FORMAT_VERSION = 3  # v3: schedule payloads carry the modulo flag
+CODE_FORMAT_VERSION = 4  # v4: backend-aware keys, attempt-record payloads
 
 _PAYLOAD_FORMAT = "repro.loop-evaluation.v1"
 TIMING_FORMAT = "repro.engine-timing.v1"
@@ -148,6 +150,7 @@ def cache_key(
     budget_ratio: float = 6.0,
     exact_mii: bool = True,
     verify_iterations: int = 0,
+    backend: str = "ims",
 ) -> str:
     """Stable, content-addressed key for one loop evaluation.
 
@@ -169,6 +172,7 @@ def cache_key(
         "graph": graph_to_dict(graph),
         "machine": machine_to_dict(machine),
         "config": {
+            "backend": backend,
             "budget_ratio": budget_ratio,
             "exact_mii": exact_mii,
             "verify_iterations": verify_iterations,
@@ -206,10 +210,18 @@ def evaluation_to_dict(evaluation: LoopEvaluation, machine) -> Dict[str, Any]:
         },
         "schedule": schedule_to_dict(result.schedule, machine),
         "search": {
+            "backend": result.backend,
             "budget_ratio": result.budget_ratio,
             "attempts": result.attempts,
             "steps_total": result.steps_total,
             "steps_last": result.steps_last,
+            "optimal": result.optimal,
+            "attempt_records": [
+                record.to_dict() for record in result.attempt_records
+            ],
+            "certificates": {
+                str(ii): cert for ii, cert in result.certificates.items()
+            },
         },
         "list_sl": evaluation.list_sl,
         "mindist_sl_at_mii": evaluation.mindist_sl_at_mii,
@@ -247,6 +259,17 @@ def evaluation_from_dict(
         steps_total=search["steps_total"],
         steps_last=search["steps_last"],
         counters=counters,
+        # v3 payloads predate backends; .get keeps them loadable.
+        backend=search.get("backend", "ims"),
+        optimal=search.get("optimal"),
+        attempt_records=[
+            AttemptRecord.from_dict(record)
+            for record in search.get("attempt_records", [])
+        ],
+        certificates={
+            int(ii): cert
+            for ii, cert in search.get("certificates", {}).items()
+        },
     )
     return LoopEvaluation(
         loop=loop,
@@ -487,6 +510,7 @@ class _LoopTask:
     in_pool: bool
     index: int
     check: bool = False
+    backend: str = "ims"
 
 
 class _WatchdogAlarm:
@@ -579,15 +603,32 @@ def _resilient_schedule(task: "_LoopTask", counters, obs, timer, phase_box):
                 )
             phase_box[0] = "scheduling"
             with timer.phase("scheduling"):
-                result = modulo_schedule(
-                    loop.graph,
-                    machine,
-                    budget_ratio=task.budget_ratio,
-                    counters=counters,
-                    mii_result=mii_result,
-                    obs=obs,
-                    deadline=deadline,
-                )
+                if task.backend == "ims":
+                    # The module-global name is the seam the fault
+                    # injectors and resilience tests patch; the default
+                    # backend must keep flowing through it.
+                    result = modulo_schedule(
+                        loop.graph,
+                        machine,
+                        budget_ratio=task.budget_ratio,
+                        counters=counters,
+                        mii_result=mii_result,
+                        obs=obs,
+                        deadline=deadline,
+                    )
+                else:
+                    result = get_backend(task.backend).schedule(
+                        loop.graph,
+                        machine,
+                        IIPolicy(
+                            budget_ratio=task.budget_ratio,
+                            exact_mii=task.exact_mii,
+                        ),
+                        counters=counters,
+                        mii_result=mii_result,
+                        obs=obs,
+                        deadline=deadline,
+                    )
             return mii_result, result, None, True
     except (DeadlineExceeded, SchedulingFailure) as trigger:
         if not task.degrade:
@@ -597,7 +638,22 @@ def _resilient_schedule(task: "_LoopTask", counters, obs, timer, phase_box):
             "reason": type(trigger).__name__,
             "message": str(trigger),
             "detail": trigger.detail() if deterministic else {},
+            "backend": task.backend,
         }
+        # Normalized attempt metadata for the rung that failed: the
+        # ladder concatenates these in front of whatever the fallback
+        # rung records, so the journal names the backend behind every
+        # candidate II even across rungs.
+        failed_records = tuple(
+            AttemptRecord(
+                backend=task.backend,
+                ii=ii,
+                success=False,
+                steps=trigger.steps_by_ii.get(ii, 0),
+                reason="budget",
+            )
+            for ii in trigger.attempted_iis
+        ) if deterministic else ()
 
     # Rung 1: IMS at the floor budget, unclocked (the watchdog is
     # disarmed — each attempt is linear in operations and II escalates
@@ -618,9 +674,23 @@ def _resilient_schedule(task: "_LoopTask", counters, obs, timer, phase_box):
             )
             degradation["level"] = LEVEL_RELAXED
             degradation["name"] = DEGRADATION_LEVELS[LEVEL_RELAXED]
+            degradation["backend"] = result.backend
+            result.attempt_records = (
+                list(failed_records) + result.attempt_records
+            )
             return mii_result, result, degradation, deterministic
         except SchedulingFailure as exc:
             degradation["relaxed_error"] = f"{type(exc).__name__}: {exc}"
+            failed_records = failed_records + tuple(
+                AttemptRecord(
+                    backend="ims",
+                    ii=ii,
+                    success=False,
+                    steps=exc.steps_by_ii.get(ii, 0),
+                    reason="budget",
+                )
+                for ii in exc.attempted_iis
+            )
 
     # Rung 2: no software pipelining at all — the acyclic list schedule
     # (iterations never overlap, so its code is the kernel alone).
@@ -634,9 +704,21 @@ def _resilient_schedule(task: "_LoopTask", counters, obs, timer, phase_box):
             steps_total=0,
             steps_last=loop.graph.n_ops,
             counters=counters,
+            backend="list",
+            attempt_records=list(failed_records)
+            + [
+                AttemptRecord(
+                    backend="list",
+                    ii=schedule.ii,
+                    success=True,
+                    steps=loop.graph.n_ops,
+                    reason="scheduled",
+                )
+            ],
         )
     degradation["level"] = LEVEL_LIST_FALLBACK
     degradation["name"] = DEGRADATION_LEVELS[LEVEL_LIST_FALLBACK]
+    degradation["backend"] = "list"
     return mii_result, result, degradation, deterministic
 
 
@@ -892,6 +974,7 @@ class EvaluationEngine:
         machine,
         budget_ratio: float = 6.0,
         exact_mii: bool = True,
+        backend: str = "ims",
         jobs: Optional[int] = 1,
         cache_dir=None,
         use_cache: bool = True,
@@ -910,6 +993,8 @@ class EvaluationEngine:
         self.machine = machine
         self.budget_ratio = budget_ratio
         self.exact_mii = exact_mii
+        get_backend(backend)  # fail fast on an unknown backend name
+        self.backend = backend
         self.jobs = int(jobs) if jobs else (os.cpu_count() or 1)
         if self.jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -965,6 +1050,7 @@ class EvaluationEngine:
             budget_ratio=self.budget_ratio,
             exact_mii=self.exact_mii,
             verify_iterations=self.verify_iterations,
+            backend=self.backend,
         )
 
     def cache_path(self, key: str) -> Path:
@@ -1324,6 +1410,7 @@ class EvaluationEngine:
             in_pool=in_pool,
             index=index,
             check=self.check,
+            backend=self.backend,
         )
 
     @staticmethod

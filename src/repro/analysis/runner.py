@@ -9,7 +9,7 @@ from repro.analysis.model import execution_time, execution_time_bound
 from repro.baselines.list_scheduler import list_schedule_length
 from repro.core.mii import MIIResult, compute_mii
 from repro.core.mindist import schedule_length_lower_bound
-from repro.core.scheduler import ModuloScheduleResult, modulo_schedule
+from repro.core.scheduler import ModuloScheduleResult
 from repro.core.stats import Counters
 from repro.workloads.corpus import CorpusLoop
 
@@ -111,20 +111,38 @@ class LoopEvaluation:
         """Operations scheduled per operation, in the successful attempt."""
         return self.result.steps_last / self.n_ops
 
+    @property
+    def backend(self) -> str:
+        """Name of the scheduler backend that produced the result."""
+        return self.result.backend
+
+    @property
+    def optimal(self) -> Optional[bool]:
+        """Whether the achieved II is proven minimal (None = unproven)."""
+        return self.result.optimal
+
+    @property
+    def optimality_gap(self) -> Optional[int]:
+        """Heuristic II minus proven-minimal II (None without a proof)."""
+        return self.result.optimality_gap
+
 
 def evaluate_loop(
     loop: CorpusLoop,
     machine,
     budget_ratio: float = 6.0,
     exact_mii: bool = True,
+    backend: str = "ims",
 ) -> LoopEvaluation:
     """Schedule one corpus loop and gather every Section-4 measurement."""
+    from repro.backends import IIPolicy, get_backend
+
     counters = Counters()
     mii_result = compute_mii(loop.graph, machine, counters, exact=exact_mii)
-    result = modulo_schedule(
+    result = get_backend(backend).schedule(
         loop.graph,
         machine,
-        budget_ratio=budget_ratio,
+        IIPolicy(budget_ratio=budget_ratio, exact_mii=exact_mii),
         counters=counters,
         mii_result=mii_result,
     )
@@ -156,6 +174,7 @@ def evaluate_corpus(
     machine,
     budget_ratio: float = 6.0,
     exact_mii: bool = True,
+    backend: str = "ims",
     jobs: Optional[int] = 1,
     cache_dir=None,
     use_cache: bool = True,
@@ -193,6 +212,7 @@ def evaluate_corpus(
         machine,
         budget_ratio=budget_ratio,
         exact_mii=exact_mii,
+        backend=backend,
         jobs=jobs,
         cache_dir=cache_dir,
         use_cache=use_cache,

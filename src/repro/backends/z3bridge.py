@@ -1,0 +1,76 @@
+"""Optional z3 bridge for the exact backend.
+
+z3 is an *extra*: nothing in the repo requires it, and every code path
+degrades to the bundled pure-python CDCL solver
+(:mod:`repro.backends.sat`) when it is not importable.  The bridge keeps
+the import attempt in one place and translates z3's verdicts into the
+same :class:`~repro.backends.sat.SolverResult` the CDCL solver returns,
+so the exact backend is solver-agnostic above this line.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.backends.sat import SAT, UNKNOWN, UNSAT, SolverResult, verify_model
+
+
+class SolverUnavailable(RuntimeError):
+    """Raised when the requested SAT solver cannot be used here."""
+
+
+def z3_available() -> bool:
+    """Whether the optional z3 extra is importable in this environment."""
+    try:
+        import z3  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def solve_with_z3(  # pragma: no cover - exercised only with the z3 extra
+    n_vars: int,
+    clauses: List[List[int]],
+    max_conflicts: Optional[int] = None,
+) -> SolverResult:
+    """Solve a DIMACS-style CNF with z3, mirroring ``sat.solve``.
+
+    Raises :class:`SolverUnavailable` when z3 is not installed — callers
+    that want silent degradation should guard with :func:`z3_available`.
+    """
+    try:
+        import z3
+    except ImportError as exc:
+        raise SolverUnavailable(
+            "the z3 solver backend was requested but the 'z3' package is "
+            "not installed; install the optional extra or use the "
+            "built-in CDCL solver (solver='cdcl')"
+        ) from exc
+
+    solver = z3.Solver()
+    if max_conflicts is not None:
+        solver.set("max_conflicts", int(max_conflicts))
+    variables = [z3.Bool(f"v{i}") for i in range(n_vars + 1)]
+    for clause in clauses:
+        solver.add(
+            z3.Or(
+                *[
+                    variables[lit] if lit > 0 else z3.Not(variables[-lit])
+                    for lit in clause
+                ]
+            )
+        )
+    verdict = solver.check()
+    stats = {"solver": "z3"}
+    if verdict == z3.sat:
+        z3_model = solver.model()
+        model: Dict[int, bool] = {}
+        for i in range(1, n_vars + 1):
+            value = z3_model.eval(variables[i], model_completion=True)
+            model[i] = bool(value)
+        if not verify_model(clauses, model):  # pragma: no cover - safety
+            raise AssertionError("z3 returned a non-satisfying model")
+        return SolverResult(status=SAT, model=model, stats=stats)
+    if verdict == z3.unsat:
+        return SolverResult(status=UNSAT, model=None, stats=stats)
+    return SolverResult(status=UNKNOWN, model=None, stats=stats)

@@ -23,7 +23,7 @@ import json
 import sys
 from typing import Callable, Dict, List, Optional
 
-from repro.core import compute_mii, modulo_schedule, recommend_unroll
+from repro.core import compute_mii, recommend_unroll
 from repro.ir import DelayModel, schedule_to_json
 from repro.loopir import compile_loop_full
 from repro.machine import (
@@ -100,6 +100,35 @@ def _write_obs(obs, args, out, run: Dict) -> None:
     print(
         f"obs export ({args.obs_format}) written to {path}", file=out
     )
+
+
+def _backend_argument(parser: argparse.ArgumentParser) -> None:
+    from repro.backends import backend_names
+
+    parser.add_argument(
+        "--backend",
+        choices=backend_names(),
+        default="ims",
+        help="scheduler backend (default: ims; 'exact' proves II "
+             "minimality with a SAT search from the MII upward)",
+    )
+
+
+def _resolve_backend(args):
+    """Instantiate args.backend, or print an error and return None.
+
+    Backend construction can fail cleanly (unknown name, or an exact
+    solver requested via REPRO_SAT_SOLVER that is not installed); both
+    become exit code 2 in the caller, never a traceback.
+    """
+    from repro.backends import get_backend
+    from repro.backends.z3bridge import SolverUnavailable
+
+    try:
+        return get_backend(args.backend)
+    except (ValueError, SolverUnavailable) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None
 
 
 def _machine_argument(parser: argparse.ArgumentParser) -> None:
@@ -182,11 +211,16 @@ def _cmd_schedule(args, out) -> int:
     obs = obs if obs is not None else NULL_OBS
     with obs.span("frontend", file=args.file):
         lowered, machine = _compile(args, out)
+    from repro.backends import IIPolicy
+
+    backend = _resolve_backend(args)
+    if backend is None:
+        return 2
     trace = ScheduleTrace() if args.trace else None
-    result = modulo_schedule(
+    result = backend.schedule(
         lowered.graph,
         machine,
-        budget_ratio=args.budget_ratio,
+        IIPolicy(budget_ratio=args.budget_ratio),
         trace=trace,
         obs=obs,
     )
@@ -210,6 +244,21 @@ def _cmd_schedule(args, out) -> int:
         f"attempts={result.attempts}  steps/op={result.inefficiency:.2f}",
         file=out,
     )
+    if backend.proves_optimality:
+        if result.optimal:
+            gap = result.optimality_gap
+            detail = (
+                "heuristic matched it"
+                if gap == 0
+                else f"heuristic II was {result.heuristic_ii}"
+            )
+            print(f"II={result.ii} proven minimal ({detail})", file=out)
+        else:
+            print(
+                "optimality unproven (solver budget exhausted below "
+                f"II={result.ii})",
+                file=out,
+            )
     if args.kernel:
         print(result.schedule.describe(), file=out)
     if args.trace:
@@ -290,9 +339,15 @@ def _cmd_check(args, out) -> int:
     from repro.check import Diagnostics, check_schedule
 
     if args.file is not None:
+        from repro.backends import IIPolicy
+
+        backend = _resolve_backend(args)
+        if backend is None:
+            return 2
         lowered, machine = _compile(args, out)
-        result = modulo_schedule(
-            lowered.graph, machine, budget_ratio=args.budget_ratio
+        result = backend.schedule(
+            lowered.graph, machine,
+            IIPolicy(budget_ratio=args.budget_ratio),
         )
         diags = check_schedule(
             lowered.graph, machine, result.schedule, codegen=True
@@ -327,6 +382,7 @@ def _cmd_check(args, out) -> int:
         engine = EvaluationEngine(
             machine,
             budget_ratio=args.budget_ratio,
+            backend=args.backend,
             jobs=args.jobs,
             cache_dir=args.cache_dir,
             use_cache=not args.no_cache,
@@ -417,6 +473,7 @@ def _cmd_corpus(args, out) -> int:
         engine = EvaluationEngine(
             machine,
             budget_ratio=args.budget_ratio,
+            backend=args.backend,
             jobs=args.jobs,
             cache_dir=args.cache_dir,
             use_cache=not args.no_cache,
@@ -480,6 +537,34 @@ def _cmd_corpus(args, out) -> int:
         f"II = MII on {census[0] / len(evaluations):.1%} of loops",
         file=out,
     )
+    from repro.backends import get_backend
+
+    if get_backend(args.backend).proves_optimality:
+        proven = [e for e in evaluations if e.optimal]
+        unproven = sum(1 for e in evaluations if e.optimal is None)
+        print(
+            f"backend {args.backend!r}: II proven minimal on "
+            f"{len(proven)}/{len(evaluations)} loops"
+            + (f" ({unproven} unproven)" if unproven else ""),
+            file=out,
+        )
+        gaps = Counter(
+            e.optimality_gap for e in proven if e.optimality_gap is not None
+        )
+        if gaps:
+            matched = gaps[0]
+            total = sum(gaps.values())
+            detail = ", ".join(
+                f"+{gap}:{count}"
+                for gap, count in sorted(gaps.items())
+                if gap
+            )
+            print(
+                f"  heuristic achieved II* on {matched / total:.1%} of "
+                f"proven loops"
+                + (f" (gap census {detail})" if detail else ""),
+                file=out,
+            )
     print(f"engine: {result.describe()}", file=out)
     for note in result.diagnostics:
         print(f"  note: {note}", file=out)
@@ -532,6 +617,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--budget-ratio", type=float, default=6.0,
         help="BudgetRatio (paper recommends ~2; default 6 for best quality)",
     )
+    _backend_argument(schedule)
     schedule.add_argument(
         "--kernel", action="store_true", help="print the kernel layout"
     )
@@ -564,6 +650,7 @@ def build_parser() -> argparse.ArgumentParser:
     corpus.add_argument("--loops", type=int, default=200)
     corpus.add_argument("--seed", type=int, default=0)
     corpus.add_argument("--budget-ratio", type=float, default=6.0)
+    _backend_argument(corpus)
     corpus.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="worker processes for the evaluation engine "
@@ -639,6 +726,7 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--loops", type=int, default=200)
     check.add_argument("--seed", type=int, default=0)
     check.add_argument("--budget-ratio", type=float, default=6.0)
+    _backend_argument(check)
     check.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="worker processes for corpus mode (0 = one per CPU)",

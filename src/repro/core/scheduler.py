@@ -25,8 +25,8 @@ paper describes:
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.core.deadline import Deadline, check_deadline
 from repro.core.heights import height_r
@@ -77,6 +77,52 @@ class SchedulingFailure(RuntimeError):
         )
 
 
+@dataclass(frozen=True)
+class AttemptRecord:
+    """One candidate-II attempt by one backend, normalized across backends.
+
+    Historically the budget/attempt bookkeeping lived only in
+    :func:`modulo_schedule`'s per-call totals, so a degradation-ladder
+    run (full IMS, then relaxed IMS, then the list fallback) reported
+    only the *last* call's attempts and nothing recorded which scheduler
+    produced which rung.  Attempt records fix that: every backend tags
+    each candidate II it tries with its own name, the ladder concatenates
+    the records across rungs, and the journal payload carries the full
+    sequence.
+
+    ``steps`` is the backend's unit of search effort — operation
+    scheduling steps for the heuristic schedulers, solver conflicts for
+    the exact backend.
+    """
+
+    backend: str
+    ii: int
+    success: bool
+    steps: int
+    reason: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible form for cache/journal payloads."""
+        return {
+            "backend": self.backend,
+            "ii": self.ii,
+            "success": self.success,
+            "steps": self.steps,
+            "reason": self.reason,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "AttemptRecord":
+        """Rebuild a record from :meth:`to_dict` output."""
+        return cls(
+            backend=data["backend"],
+            ii=int(data["ii"]),
+            success=bool(data["success"]),
+            steps=int(data["steps"]),
+            reason=data.get("reason", ""),
+        )
+
+
 @dataclass
 class _AttemptResult:
     """Outcome of one IterativeSchedule invocation at a fixed II."""
@@ -109,6 +155,22 @@ class ModuloScheduleResult:
         scheduled" uses this).
     counters:
         Instrumentation accumulated over the whole run.
+    backend:
+        Registered name of the scheduler backend that produced the
+        schedule (``"ims"`` for this module's heuristic search).
+    optimal:
+        ``True`` when the II is *proven* minimal (the exact backend's
+        claim, or II == MII), ``False`` when proven non-minimal, and
+        ``None`` when nothing proved anything either way — the heuristic
+        backends always report ``None`` unless II == MII.
+    attempt_records:
+        Per-candidate-II :class:`AttemptRecord` sequence, each tagged
+        with the backend that ran the attempt (the degradation ladder
+        concatenates records across its rungs).
+    certificates:
+        For the exact backend: ``{ii: unsat-certificate}`` for every II
+        it refuted below the achieved one (solver statistics + encoding
+        shape; empty for heuristic backends).
     """
 
     schedule: Schedule
@@ -118,6 +180,10 @@ class ModuloScheduleResult:
     steps_total: int
     steps_last: int
     counters: Counters
+    backend: str = "ims"
+    optimal: Optional[bool] = None
+    attempt_records: List[AttemptRecord] = field(default_factory=list)
+    certificates: Dict[int, Dict[str, Any]] = field(default_factory=dict)
 
     @property
     def ii(self) -> int:
@@ -143,6 +209,28 @@ class ModuloScheduleResult:
     def inefficiency(self) -> float:
         """Nodes scheduled per node, within the successful attempt."""
         return self.steps_last / self.schedule.graph.n_ops
+
+    @property
+    def heuristic_ii(self) -> Optional[int]:
+        """II the heuristic (non-exact) search achieved for this loop.
+
+        For a heuristic backend this is the achieved II itself.  For the
+        exact backend it is the II of the successful IMS attempt that
+        seeded the upper bound — the quantity the optimality-gap study
+        compares against the proven-minimal II — or ``None`` when the
+        heuristic found nothing.
+        """
+        for record in self.attempt_records:
+            if record.backend != "exact" and record.success:
+                return record.ii
+        return self.ii if self.backend != "exact" else None
+
+    @property
+    def optimality_gap(self) -> Optional[int]:
+        """``heuristic II − proven-minimal II`` (None unless proven)."""
+        if self.optimal is not True or self.heuristic_ii is None:
+            return None
+        return self.heuristic_ii - self.ii
 
 
 def _priority_heightr(graph: DependenceGraph, ii: int, counters) -> List[int]:
@@ -546,6 +634,7 @@ def modulo_schedule(
     attempts = 0
     steps_total = 0
     steps_by_ii: Dict[int, int] = {}
+    records: List[AttemptRecord] = []
     ii = mii_result.mii
     with obs.span(
         "schedule", graph=graph.name, style=style, mii=mii_result.mii
@@ -579,6 +668,19 @@ def modulo_schedule(
             attempt_span.set("forced", counters.ops_forced - forced_before)
             obs.histogram("sched.attempt.steps").observe(attempt.steps)
             steps_total += attempt.steps
+            records.append(
+                AttemptRecord(
+                    backend="ims",
+                    ii=ii,
+                    success=attempt.success,
+                    steps=attempt.steps,
+                    reason=(
+                        "scheduled"
+                        if attempt.success
+                        else ("infeasible" if attempt.steps == 0 else "budget")
+                    ),
+                )
+            )
             if attempt.success:
                 schedule = Schedule(
                     graph, ii, attempt.times, attempt.alternatives
@@ -597,6 +699,11 @@ def modulo_schedule(
                     steps_total=steps_total,
                     steps_last=attempt.steps,
                     counters=counters,
+                    backend="ims",
+                    # II == MII is a proof by the lower bound; anything
+                    # above it the heuristic cannot certify either way.
+                    optimal=True if ii == mii_result.mii else None,
+                    attempt_records=records,
                 )
             ii += 1
     obs.counter("sched.failures").inc()

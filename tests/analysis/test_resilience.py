@@ -630,3 +630,113 @@ class TestCli:
             out=io.StringIO(),
         )
         assert code == 2
+
+
+class TestAttemptMetadataNormalization:
+    """The ladder journals *which backend* tried every candidate II.
+
+    Before attempt records were normalized, a degraded payload only
+    said "list-fallback" at the top level — the journal could not tell
+    which rung (full IMS, relaxed IMS, list) produced which candidate
+    II.  Every rung now contributes AttemptRecords naming its backend,
+    concatenated in ladder order, and they survive the cache payload.
+    """
+
+    def _out_of_budget(self, graph, machine_, **kwargs):
+        raise SchedulingFailure(
+            "out of budget", attempted_iis=[2, 3],
+            steps_by_ii={2: 9, 3: 9}, budget=9,
+        )
+
+    def test_every_rung_names_its_backend(
+        self, machine, corpus, tmp_path, monkeypatch
+    ):
+        monkeypatch.setattr(
+            engine_module, "modulo_schedule", self._out_of_budget
+        )
+        journal = tmp_path / "journal.jsonl"
+        engine = EvaluationEngine(
+            machine,
+            cache_dir=tmp_path / "cache",
+            journal_path=journal,
+            fault_plan=NULL_PLAN,
+        )
+        result = engine.evaluate(corpus[:1])
+        assert result.ok and result.degraded == 1
+        evaluation = result.evaluations[0]
+        assert evaluation.backend == "list"
+        assert evaluation.degradation["backend"] == "list"
+        records = evaluation.result.attempt_records
+        # Rung 0 (full IMS) and rung 1 (relaxed IMS) each tried IIs 2
+        # and 3 before the list rung won: five records, ladder order.
+        assert [r.backend for r in records] == ["ims"] * 4 + ["list"]
+        assert [r.success for r in records] == [False] * 4 + [True]
+        assert [r.ii for r in records[:4]] == [2, 3, 2, 3]
+        assert all(r.reason == "budget" for r in records[:4])
+        assert records[-1].reason == "scheduled"
+        assert records[-1].ii == evaluation.ii
+
+    def test_journal_payload_round_trips_the_records(
+        self, machine, corpus, tmp_path, monkeypatch
+    ):
+        real = engine_module.modulo_schedule
+        monkeypatch.setattr(
+            engine_module, "modulo_schedule", self._out_of_budget
+        )
+        journal = tmp_path / "journal.jsonl"
+        engine = EvaluationEngine(
+            machine,
+            cache_dir=tmp_path / "cache",
+            journal_path=journal,
+            fault_plan=NULL_PLAN,
+        )
+        cold = engine.evaluate(corpus[:1])
+        records = cold.evaluations[0].result.attempt_records
+
+        # The journal's payload carries the same normalized records.
+        payloads = [
+            json.loads(line)["payload"]
+            for line in journal.read_text().splitlines()
+            if line.strip() and json.loads(line).get("ok")
+        ]
+        assert len(payloads) == 1
+        search = payloads[0]["search"]
+        assert search["backend"] == "list"
+        assert [r["backend"] for r in search["attempt_records"]] == (
+            ["ims"] * 4 + ["list"]
+        )
+
+        # A warm cache hit restores them bit-for-bit.
+        monkeypatch.setattr(engine_module, "modulo_schedule", real)
+        warm = engine.evaluate(corpus[:1])
+        assert warm.hits == 1
+        assert warm.evaluations[0].result.attempt_records == records
+        assert warm.evaluations[0].degradation["backend"] == "list"
+
+    def test_relaxed_rung_is_attributed_to_ims(
+        self, machine, corpus, monkeypatch
+    ):
+        real = engine_module.modulo_schedule
+        calls = {"n": 0}
+
+        def first_call_fails(graph, machine_, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise SchedulingFailure(
+                    "out of budget", attempted_iis=[2],
+                    steps_by_ii={2: 9}, budget=9,
+                )
+            return real(graph, machine_, **kwargs)
+
+        monkeypatch.setattr(
+            engine_module, "modulo_schedule", first_call_fails
+        )
+        engine = EvaluationEngine(machine, fault_plan=NULL_PLAN)
+        result = engine.evaluate(corpus[:1])
+        assert result.ok and result.degraded == 1
+        evaluation = result.evaluations[0]
+        assert evaluation.degradation["name"] == "relaxed-ims"
+        assert evaluation.degradation["backend"] == "ims"
+        records = evaluation.result.attempt_records
+        assert records[0].backend == "ims" and not records[0].success
+        assert records[-1].backend == "ims" and records[-1].success
