@@ -389,6 +389,9 @@ class CorpusEvaluation:
     wall_seconds: float
     counters: Counters = field(default_factory=Counters)
     metrics: Optional[Dict[str, Any]] = None
+    #: Merged collapsed-stack sample counts from the sampling profiler
+    #: (``--profile``); ``None`` on unprofiled runs.
+    profile: Optional[Dict[str, int]] = None
     retries: int = 0
     timeouts: int = 0
     crashes: int = 0
@@ -511,6 +514,9 @@ class _LoopTask:
     index: int
     check: bool = False
     backend: str = "ims"
+    #: Sampling-profiler interval in seconds; 0.0 leaves the profiler
+    #: entirely out of the worker (the disabled path is one ``if``).
+    profile: float = 0.0
 
 
 class _WatchdogAlarm:
@@ -727,12 +733,22 @@ def _evaluate_loop_task(task: "_LoopTask") -> Dict[str, Any]:
 
     Returns a JSON-compatible dict with exactly one of ``payload`` /
     ``failure`` non-None, the per-phase ``seconds``, the worker's ``obs``
-    snapshot (None unless observing) and ``cacheable`` (False when the
+    snapshot (None unless observing), the collapsed ``profile`` samples
+    (None unless ``task.profile`` set) and ``cacheable`` (False when the
     outcome depended on wall-clock rather than on the input alone).  Any
     exception — including injected exotic types whose instances refuse to
     pickle — is reduced to a structured record here, inside the worker,
     so nothing unpicklable ever rides back through the pool.
     """
+    profiler = None
+    if task.profile:
+        from repro.obs.profile import shared_profiler
+
+        # One long-lived profiler per worker process: harvesting (not
+        # re-arming) per task lets sub-interval tasks accumulate samples
+        # statistically across the worker's lifetime.
+        profiler = shared_profiler(task.profile)
+        profiler.take()  # discard samples accrued between tasks
     obs = ObsContext() if task.observe else NULL_OBS
     timer = obs.timer()
     phase_box = ["setup"]
@@ -851,11 +867,13 @@ def _evaluate_loop_task(task: "_LoopTask") -> Dict[str, Any]:
             }
             loop_span.set("ok", False)
             loop_span.set("failed_phase", phase_box[0])
+    samples = profiler.take() if profiler is not None else None
     return {
         "payload": payload,
         "failure": failure,
         "seconds": timer.snapshot(),
         "obs": obs.to_dict() if task.observe else None,
+        "profile": samples,
         "cacheable": cacheable,
     }
 
@@ -888,6 +906,7 @@ def _pool_failure(error_type: str, message: str) -> Dict[str, Any]:
         },
         "seconds": {},
         "obs": None,
+        "profile": None,
         "cacheable": False,
     }
 
@@ -967,6 +986,12 @@ class EvaluationEngine:
         A :class:`~repro.analysis.faultinject.FaultPlan` for the
         resilience test-suite; defaults to the ``REPRO_FAULT_INJECT``
         environment spec (empty in production).
+    profile_interval:
+        When set, every worker runs under the sampling profiler
+        (:class:`repro.obs.profile.SamplingProfiler`) at this interval
+        in seconds; the merged collapsed stacks land on
+        ``CorpusEvaluation.profile``.  ``None`` (the default) keeps the
+        profiler entirely out of the workers.
     """
 
     def __init__(
@@ -989,6 +1014,7 @@ class EvaluationEngine:
         quarantine_path=None,
         reap_after: Optional[float] = None,
         fault_plan: Optional[FaultPlan] = None,
+        profile_interval: Optional[float] = None,
     ) -> None:
         self.machine = machine
         self.budget_ratio = budget_ratio
@@ -1033,6 +1059,10 @@ class EvaluationEngine:
             self.reap_after = None
         self.fault_plan = (
             fault_plan if fault_plan is not None else FaultPlan.from_env()
+        )
+        # None/0 keeps the workers' disabled path a single falsy check.
+        self.profile_interval = (
+            float(profile_interval) if profile_interval else 0.0
         )
 
     # -- cache ---------------------------------------------------------
@@ -1290,13 +1320,26 @@ class EvaluationEngine:
             finally:
                 if journal is not None:
                     journal.close()
+                if self.profile_interval:
+                    # The serial path arms the shared profiler in this
+                    # very process; leave nothing ticking after the run.
+                    from repro.obs.profile import stop_shared
+
+                    stop_shared()
 
             # Absorb worker snapshots in corpus order (not completion
             # order) so the merged trace is reproducible run over run.
+            profile: Optional[Dict[str, int]] = None
             for index in pending:
                 outcome = outcomes.get(index)
                 if outcome is not None:
                     obs.absorb(outcome.get("obs"), parent=root, index=index)
+                    samples = outcome.get("profile")
+                    if samples:
+                        if profile is None:
+                            profile = {}
+                        for stack, count in samples.items():
+                            profile[stack] = profile.get(stack, 0) + count
 
             evaluations: List[LoopEvaluation] = []
             failures: List[LoopFailure] = []
@@ -1374,6 +1417,7 @@ class EvaluationEngine:
             wall_seconds=time.perf_counter() - started,
             counters=totals,
             metrics=obs.metrics.snapshot() if obs.enabled else None,
+            profile=profile,
             retries=stats.retries,
             timeouts=stats.timeouts,
             crashes=stats.crashes,
@@ -1411,6 +1455,7 @@ class EvaluationEngine:
             index=index,
             check=self.check,
             backend=self.backend,
+            profile=self.profile_interval,
         )
 
     @staticmethod

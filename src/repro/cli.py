@@ -7,6 +7,9 @@ Usage (see ``python -m repro --help``)::
     python -m repro schedule loop.dsl --budget-ratio 2 --verify 50 --kernel
     python -m repro schedule loop.dsl --json > schedule.json
     python -m repro corpus --loops 200
+    python -m repro corpus --loops 200 --obs-db obs.db --profile
+    python -m repro obs report --db obs.db
+    python -m repro obs diff --db obs.db BASE [OTHER]
     python -m repro check --loops 200 --jobs 2 --json check.json
     python -m repro lint --all-machines
 
@@ -462,6 +465,11 @@ def _cmd_corpus(args, out) -> int:
     except _ObsConfigError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if obs is None and args.obs_db:
+        # --obs-db implies tracing: the store ingests the span tree.
+        from repro.obs import ObsContext
+
+        obs = ObsContext()
     obs = obs if obs is not None else NULL_OBS
     machine = MACHINES[args.machine]()
     n_synthetic = max(0, args.loops - len(KERNELS))
@@ -486,6 +494,9 @@ def _cmd_corpus(args, out) -> int:
             resume=args.resume,
             quarantine_path=args.quarantine,
             check=args.check,
+            profile_interval=(
+                args.profile_interval if args.profile else None
+            ),
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -510,6 +521,44 @@ def _cmd_corpus(args, out) -> int:
         path = result.write_timing_json(args.timings)
         print(render_phase_summary(result.phase_seconds()), file=out)
         print(f"timing report written to {path}", file=out)
+    if args.obs_db:
+        from repro.obs.store import RunStore, StoreError
+
+        try:
+            with RunStore(args.obs_db) as store:
+                ingested = store.ingest_run_artifacts(
+                    obs.to_dict(),
+                    run={"command": "corpus", "machine": args.machine,
+                         "loops": args.loops, "jobs": engine.jobs,
+                         "seed": args.seed},
+                    timing_report=result.timing_report(),
+                    profile=result.profile,
+                    source="corpus",
+                )
+        except (StoreError, OSError) as exc:
+            print(f"error: obs db unusable: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"run {ingested.run_id} recorded in {args.obs_db}", file=out
+        )
+    if args.profile_out:
+        from repro.obs.flame import folded_lines, write_flamegraph
+
+        if result.profile:
+            path = write_flamegraph(
+                folded_lines(result.profile), args.profile_out
+            )
+            print(
+                f"profiler samples ({sum(result.profile.values())}) "
+                f"written to {path}",
+                file=out,
+            )
+        else:
+            print(
+                "no profiler samples collected (run too short, or "
+                "--profile not set)",
+                file=out,
+            )
     evaluations = result.evaluations
     if not evaluations:
         print(f"engine: {result.describe()}", file=out)
@@ -711,6 +760,24 @@ def build_parser() -> argparse.ArgumentParser:
              "caching or counting it",
     )
     _obs_arguments(corpus)
+    corpus.add_argument(
+        "--obs-db", default=None, metavar="FILE",
+        help="record the run (spans, metrics, timings, profiler samples) "
+             "into this observatory database; implies tracing",
+    )
+    corpus.add_argument(
+        "--profile", action="store_true",
+        help="sample worker call stacks with the SIGPROF profiler "
+             "(off by default; ~5ms interval)",
+    )
+    corpus.add_argument(
+        "--profile-interval", type=float, default=0.005, metavar="SECONDS",
+        help="sampling interval for --profile (default 0.005)",
+    )
+    corpus.add_argument(
+        "--profile-out", default=None, metavar="FILE",
+        help="write the merged collapsed-stack profiler samples to FILE",
+    )
     corpus.set_defaults(handler=_cmd_corpus)
 
     check = commands.add_parser(
@@ -773,6 +840,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the repro.check.v1 diagnostics document to FILE",
     )
     lint.set_defaults(handler=_cmd_lint)
+
+    from repro.obs.cli import register as register_obs
+
+    register_obs(commands)
     return parser
 
 

@@ -1,10 +1,11 @@
-"""Exporters: JSONL (``repro.obs.v1``) and Chrome trace-event format.
+"""Exporters: JSONL (``repro.obs.v2``) and Chrome trace-event format.
 
 Both exporters consume the same ``ObsContext.to_dict()`` snapshot.  The
 JSONL form is the archival/diffable one (schema in
-:mod:`repro.obs.schema`); the Chrome form loads directly into Perfetto
-(https://ui.perfetto.dev) or ``chrome://tracing`` for a visual timeline
-of the whole corpus run, workers included.
+:mod:`repro.obs.schema`, ingestible by :mod:`repro.obs.store`); the
+Chrome form loads directly into Perfetto (https://ui.perfetto.dev) or
+``chrome://tracing`` for a visual timeline of the whole corpus run,
+workers included.
 """
 
 from __future__ import annotations
@@ -13,20 +14,27 @@ import json
 from pathlib import Path
 from typing import Any, Dict, Optional
 
-from repro.obs.schema import records_from_snapshot
+from repro.obs.schema import records_from_snapshot, worker_lanes
 
 #: The ``--obs-format`` spellings the CLI accepts.
 FORMATS = ("jsonl", "chrome")
 
 
 def write_jsonl(snapshot: Dict[str, Any], path, run=None) -> Path:
-    """Write a snapshot as ``repro.obs.v1`` JSON Lines; returns the path."""
+    """Write a snapshot as ``repro.obs.v2`` JSON Lines; returns the path."""
     path = Path(path)
     records = records_from_snapshot(snapshot, run=run)
     path.write_text(
         "".join(json.dumps(r, sort_keys=True) + "\n" for r in records)
     )
     return path
+
+
+def lane_label(lane: int, pid: int) -> str:
+    """Human-readable name of one worker lane."""
+    if lane == 0:
+        return f"engine (pid {pid})"
+    return f"worker {lane} (pid {pid})"
 
 
 def to_chrome_trace(
@@ -36,15 +44,22 @@ def to_chrome_trace(
 
     Spans become complete (``"ph": "X"``) events with microsecond
     timestamps; wall-clock starts are used, so spans from different
-    worker processes line up on one timeline.  Metrics ride along in
-    ``otherData`` (the trace-event format has no timeless metric notion).
+    worker processes line up on one timeline.  All events share one
+    trace-level pid (the run) and fan out over *stable worker-lane
+    tids* — lane 0 is the engine process, lanes 1..N the workers in
+    sorted-pid order — with ``process_name``/``thread_name`` metadata
+    events, so a multi-worker trace renders as labeled lanes instead of
+    anonymous recycled pids.  Metrics ride along in ``otherData`` (the
+    trace-event format has no timeless metric notion).
     """
+    spans = snapshot.get("spans", ())
+    lanes = worker_lanes(spans)
+    root_pid = next((pid for pid, lane in lanes.items() if lane == 0), 0)
     events = []
-    pids = set()
-    for span in snapshot.get("spans", ()):
-        pids.add(span["pid"])
+    for span in spans:
         args = {k: v for k, v in span.get("attrs", {}).items()}
         args["span_id"] = span["span_id"]
+        args["pid"] = span["pid"]
         if span.get("parent_id") is not None:
             args["parent_id"] = span["parent_id"]
         events.append(
@@ -53,20 +68,29 @@ def to_chrome_trace(
                 "ph": "X",
                 "ts": span["start"] * 1e6,
                 "dur": span["dur"] * 1e6,
-                "pid": span["pid"],
-                "tid": span["pid"],
+                "pid": root_pid,
+                "tid": lanes.get(span.get("pid", 0), 0),
                 "cat": "repro",
                 "args": args,
             }
         )
-    for pid in sorted(pids):
+    events.append(
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": root_pid,
+            "tid": 0,
+            "args": {"name": "repro run"},
+        }
+    )
+    for pid, lane in sorted(lanes.items(), key=lambda item: item[1]):
         events.append(
             {
-                "name": "process_name",
+                "name": "thread_name",
                 "ph": "M",
-                "pid": pid,
-                "tid": pid,
-                "args": {"name": f"repro worker {pid}"},
+                "pid": root_pid,
+                "tid": lane,
+                "args": {"name": lane_label(lane, pid)},
             }
         )
     return {

@@ -1,0 +1,115 @@
+"""Collapsed-stack flamegraph export (Brendan Gregg's folded format).
+
+One line per unique stack, frames joined by ``;``, a space, then the
+sample weight::
+
+    corpus.evaluate;loop;schedule;schedule.attempt 1234
+
+That format is what ``flamegraph.pl``, speedscope, inferno and the
+Firefox profiler all import, so the observatory needs no renderer of its
+own.  Two sources fold into it:
+
+* **span trees** — each span contributes its *self time* (microseconds,
+  so the weights stay integral) at its path from the root; the
+  flamegraph then shows exactly where the run's wall clock went, with
+  parent/child double-counting already removed;
+* **profiler samples** — :mod:`repro.obs.profile` already collapses
+  ``file:function`` stacks to counts; they pass through verbatim.
+
+Output is sorted by stack string, so the same run always produces the
+same file byte-for-byte (the determinism tests diff these).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Sequence
+
+from repro.obs.store import RunStore
+
+
+def collapse_spans(
+    spans: Sequence[Dict[str, Any]], weight_scale: float = 1e6
+) -> Dict[str, int]:
+    """Fold a span list into ``{stack: weight}`` (self time, scaled).
+
+    ``spans`` are schema records or snapshot spans (dicts with
+    ``span_id``/``parent_id``/``name``/``dur``).  Weights are self time
+    times ``weight_scale`` rounded to int — microseconds by default —
+    and zero-weight stacks are dropped (folded tooling treats 0 as
+    noise).
+    """
+    by_id = {span["span_id"]: span for span in spans}
+    child_dur: Dict[Any, float] = {}
+    for span in spans:
+        parent = span.get("parent_id")
+        if parent is not None:
+            child_dur[parent] = child_dur.get(parent, 0.0) + span["dur"]
+
+    paths: Dict[int, str] = {}
+
+    def path_of(span: Dict[str, Any]) -> str:
+        span_id = span["span_id"]
+        if span_id in paths:
+            return paths[span_id]
+        frames: List[str] = []
+        node, seen = span, set()
+        while node is not None and node["span_id"] not in seen:
+            seen.add(node["span_id"])
+            frames.append(node["name"])
+            parent = node.get("parent_id")
+            node = by_id.get(parent) if parent is not None else None
+        stack = ";".join(reversed(frames))
+        paths[span_id] = stack
+        return stack
+
+    folded: Dict[str, int] = {}
+    for span in spans:
+        self_dur = max(0.0, span["dur"] - child_dur.get(span["span_id"], 0.0))
+        weight = int(round(self_dur * weight_scale))
+        if weight <= 0:
+            continue
+        stack = path_of(span)
+        folded[stack] = folded.get(stack, 0) + weight
+    return folded
+
+
+def folded_lines(folded: Dict[str, int]) -> List[str]:
+    """Render a folded dict as sorted ``stack weight`` lines."""
+    return [f"{stack} {count}" for stack, count in sorted(folded.items())]
+
+
+def flamegraph_from_store(
+    store: RunStore, run_id: str, source: str = "spans"
+) -> List[str]:
+    """Folded lines for one stored run.
+
+    ``source`` is ``"spans"`` (self-time flamegraph of the span tree) or
+    ``"profile"`` (the sampling profiler's collapsed stacks, if the run
+    carried any).
+    """
+    if source == "profile":
+        return folded_lines(store.profile_samples(run_id))
+    if source != "spans":
+        raise ValueError(
+            f"unknown flamegraph source {source!r}; choose spans or profile"
+        )
+    spans = [
+        {
+            "span_id": row["span_id"],
+            "parent_id": row["parent_id"],
+            "name": row["name"],
+            "dur": row["dur"],
+        }
+        for row in store.span_rows(run_id)
+    ]
+    return folded_lines(collapse_spans(spans))
+
+
+def write_flamegraph(lines: Iterable[str], path) -> Path:
+    """Write folded lines to ``path``; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    body = "".join(line + "\n" for line in lines)
+    path.write_text(body)
+    return path

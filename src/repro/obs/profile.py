@@ -1,0 +1,230 @@
+"""Lightweight sampling profiler for engine workers (``--profile``).
+
+The span layer attributes time to *phases the code declares*; the
+profiler attributes it to *code that actually ran* — the complement
+needed when a phase is slow and the spans can't say why.  Design
+constraints, in order:
+
+1. **Off by default, zero cost when off.**  The engine's disabled path
+   must stay byte-identical in behavior to today's ``NULL_OBS``
+   benchmark assertion; when no profiler is requested the worker does
+   one ``None`` check and nothing else.
+2. **Cheap when on.**  SIGPROF via ``signal.setitimer(ITIMER_PROF)``
+   fires on consumed CPU time; the handler walks the interrupted frame
+   to a ``file:function`` stack and bumps one dict counter.  The
+   overhead guard in the test suite holds profiled runs within 10% of
+   unprofiled wall clock.
+3. **No fights with the watchdog.**  The engine's SIGALRM backstop uses
+   ``ITIMER_REAL``; the profiler uses ``ITIMER_PROF`` — distinct timers,
+   distinct signals, safely nested.
+4. **Degrade silently.**  Off the main thread, on platforms without
+   SIGPROF, or when another component owns the signal, the profiler
+   falls back to a daemon sampling thread; if that fails too it becomes
+   a no-op.  Profiling must never take a run down.
+
+Samples collapse to the flamegraph's folded form (``a;b;c count``) so
+:mod:`repro.obs.flame` and the run store ingest them directly; dicts
+from many workers merge by plain addition.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import sys
+import threading
+from types import FrameType
+from typing import Dict, Iterable, Optional
+
+#: Default sampling interval: 5ms ≈ 200 samples/CPU-second — enough
+#: resolution for per-phase attribution at well under 1% overhead.
+DEFAULT_INTERVAL = 0.005
+
+def _frame_stack(frame: Optional[FrameType], limit: int = 64) -> str:
+    """Collapse a frame chain into ``file:func;file:func;...`` (root first)."""
+    frames = []
+    depth = 0
+    while frame is not None and depth < limit:
+        code = frame.f_code
+        name = os.path.splitext(os.path.basename(code.co_filename))[0]
+        frames.append(f"{name}:{code.co_name}")
+        frame = frame.f_back
+        depth += 1
+    return ";".join(reversed(frames))
+
+
+def merge_samples(
+    into: Dict[str, int], samples: Iterable[Dict[str, int]]
+) -> Dict[str, int]:
+    """Fold sample dicts together by addition (worker merge)."""
+    for sample in samples:
+        if not sample:
+            continue
+        for stack, count in sample.items():
+            into[stack] = into.get(stack, 0) + count
+    return into
+
+
+class SamplingProfiler:
+    """Collapsed-stack sampler; use as a context manager around the work.
+
+    ``mode`` after ``start()`` reports what actually engaged:
+    ``"sigprof"``, ``"thread"``, or ``"off"`` (silent degradation).
+    """
+
+    def __init__(self, interval: float = DEFAULT_INTERVAL) -> None:
+        self.interval = float(interval)
+        self.samples: Dict[str, int] = {}
+        self.mode = "off"
+        self._previous_handler = None
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+
+    # -- SIGPROF path ---------------------------------------------------
+
+    def _on_sigprof(self, signum, frame) -> None:
+        stack = _frame_stack(frame)
+        if stack:
+            self.samples[stack] = self.samples.get(stack, 0) + 1
+
+    def _start_sigprof(self) -> bool:
+        if not hasattr(signal, "SIGPROF") or not hasattr(signal, "setitimer"):
+            return False
+        try:
+            self._previous_handler = signal.signal(
+                signal.SIGPROF, self._on_sigprof
+            )
+            signal.setitimer(signal.ITIMER_PROF, self.interval, self.interval)
+            return True
+        except (ValueError, OSError):
+            # Not the main thread, or the platform refused the timer.
+            if self._previous_handler is not None:
+                try:
+                    signal.signal(signal.SIGPROF, self._previous_handler)
+                except (ValueError, OSError):
+                    pass
+                self._previous_handler = None
+            return False
+
+    def _stop_sigprof(self) -> None:
+        try:
+            signal.setitimer(signal.ITIMER_PROF, 0.0)
+            if self._previous_handler is not None:
+                signal.signal(signal.SIGPROF, self._previous_handler)
+        except (ValueError, OSError):
+            pass
+        self._previous_handler = None
+
+    # -- thread fallback ------------------------------------------------
+
+    def _sample_thread(self, target_id: int) -> None:
+        while not self._stop.wait(self.interval):
+            frame = sys._current_frames().get(target_id)
+            if frame is None:
+                continue
+            stack = _frame_stack(frame)
+            if stack:
+                self.samples[stack] = self.samples.get(stack, 0) + 1
+
+    def _start_thread(self) -> bool:
+        try:
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._sample_thread,
+                args=(threading.get_ident(),),
+                name="repro-obs-sampler",
+                daemon=True,
+            )
+            self._thread.start()
+            return True
+        except Exception:
+            self._thread = None
+            return False
+
+    def _stop_thread(self) -> None:
+        if self._thread is not None:
+            self._stop.set()
+            self._thread.join(timeout=1.0)
+            self._thread = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> "SamplingProfiler":
+        if self._start_sigprof():
+            self.mode = "sigprof"
+        elif self._start_thread():
+            self.mode = "thread"
+        else:
+            self.mode = "off"
+        return self
+
+    def stop(self) -> Dict[str, int]:
+        if self.mode == "sigprof":
+            self._stop_sigprof()
+        elif self.mode == "thread":
+            self._stop_thread()
+        self.mode = "off"
+        return self.samples
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def collapsed(self) -> Dict[str, int]:
+        """The samples so far, profiler-internal frames stripped."""
+        out: Dict[str, int] = {}
+        for stack, count in self.samples.items():
+            frames = [
+                frame
+                for frame in stack.split(";")
+                if not frame.startswith("profile:")
+            ]
+            if not frames:
+                continue
+            cleaned = ";".join(frames)
+            out[cleaned] = out.get(cleaned, 0) + count
+        return out
+
+    def take(self) -> Dict[str, int]:
+        """Harvest and reset the samples, leaving the timer armed.
+
+        This is how the engine carves one long-lived profiler into
+        per-task sample sets: the interval timer keeps running across
+        harvests, so tasks shorter than one interval still accumulate
+        samples statistically over a worker's lifetime (a per-task
+        profiler would re-arm the timer each task and never fire).
+        """
+        out = self.collapsed()
+        self.samples = {}
+        return out
+
+
+# ----------------------------------------------------------------------
+# The per-process shared profiler the engine workers use.
+
+_shared: Optional[SamplingProfiler] = None
+
+
+def shared_profiler(interval: float = DEFAULT_INTERVAL) -> SamplingProfiler:
+    """The process-wide profiler, started on first use.
+
+    Engine workers call this once per task: the profiler (and its
+    timer) survives from task to task, so sampling statistics build up
+    across a worker's whole lifetime.  In pool workers it dies with the
+    process; the serial path calls :func:`stop_shared` when the run
+    ends.
+    """
+    global _shared
+    if _shared is None:
+        _shared = SamplingProfiler(interval=interval).start()
+    return _shared
+
+
+def stop_shared() -> None:
+    """Disarm and drop the process-wide profiler (no-op when absent)."""
+    global _shared
+    if _shared is not None:
+        _shared.stop()
+        _shared = None

@@ -1,7 +1,7 @@
-"""The ``repro.obs.v1`` record schema and its validator.
+"""The ``repro.obs.v2`` record schema, its validator, and the v1 reader.
 
 A traced run is exported as JSON Lines: one self-describing record per
-line, each carrying ``"format": "repro.obs.v1"`` and a ``"type"``:
+line, each carrying ``"format": "repro.obs.v2"`` and a ``"type"``:
 
 ``meta``
     Exactly one, first: ``{"format", "type", "run": {...}}`` — free-form
@@ -9,14 +9,23 @@ line, each carrying ``"format": "repro.obs.v1"`` and a ``"type"``:
 
 ``span``
     ``{"format", "type", "name", "span_id", "parent_id", "start",
-    "dur", "pid", "attrs"}``.  ``parent_id`` is ``null`` for a root
-    span; ``start`` is wall-clock epoch seconds (comparable across
-    worker processes); ``dur`` is a monotonic-clock duration.
+    "dur", "pid", "tid", "attrs"}``.  ``parent_id`` is ``null`` for a
+    root span; ``start`` is wall-clock epoch seconds (comparable across
+    worker processes); ``dur`` is a monotonic-clock duration; ``tid`` is
+    the span's *worker lane* — a stable small integer (0 for the
+    coordinating process, 1..N for workers in sorted-pid order) that
+    survives pid recycling across runs and gives trace viewers labeled,
+    reproducible tracks.
 
 ``metric``
     ``{"format", "type", "kind", "name", "value"}`` with ``kind`` one
     of ``counter``/``gauge``/``histogram``; a histogram ``value`` is the
     summary dict ``{"count", "total", "min", "max"}``.
+
+Version 1 (``repro.obs.v1``) is identical except that spans carry no
+``tid``; the validator and every reader (the run store, the regression
+loaders, ``python -m repro.obs.check``) accept both, so archived v1
+exports stay ingestible.  A stream must not mix format markers.
 
 :func:`validate_records` is the single source of truth for the schema —
 the test suite and the CI smoke step (via :mod:`repro.obs.check`) both
@@ -28,7 +37,12 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, Iterable, List, Optional
 
-FORMAT = "repro.obs.v1"
+FORMAT_V1 = "repro.obs.v1"
+FORMAT_V2 = "repro.obs.v2"
+#: The format new exports are written in.
+FORMAT = FORMAT_V2
+#: Every format marker the readers accept (newest first).
+KNOWN_FORMATS = (FORMAT_V2, FORMAT_V1)
 
 _SPAN_FIELDS = {
     "name": str,
@@ -42,20 +56,56 @@ _METRIC_KINDS = ("counter", "gauge", "histogram")
 _HISTOGRAM_FIELDS = ("count", "total", "min", "max")
 
 
+def worker_lanes(spans: Iterable[Dict[str, Any]]) -> Dict[int, int]:
+    """Stable pid -> lane numbering for a snapshot's spans.
+
+    Lane 0 is the coordinating process — the pid of the first root span
+    (``parent_id`` is null) in stream order, which is the engine's own
+    process for any traced corpus run.  Worker pids get lanes 1..N in
+    ascending pid order.  The numbering depends only on the *set* of
+    pids and the root span, so re-exporting the same snapshot always
+    yields the same lanes.
+    """
+    pids: List[int] = []
+    root_pid: Optional[int] = None
+    for span in spans:
+        pid = span.get("pid", 0)
+        if pid not in pids:
+            pids.append(pid)
+        if root_pid is None and span.get("parent_id") is None:
+            root_pid = pid
+    if root_pid is None:
+        root_pid = min(pids) if pids else 0
+    lanes = {root_pid: 0}
+    for pid in sorted(pids):
+        if pid not in lanes:
+            lanes[pid] = len(lanes)
+    return lanes
+
+
 def records_from_snapshot(
     snapshot: Dict[str, Any], run: Optional[Dict[str, Any]] = None
 ) -> List[Dict[str, Any]]:
-    """Flatten an ``ObsContext.to_dict()`` snapshot into v1 records.
+    """Flatten an ``ObsContext.to_dict()`` snapshot into v2 records.
 
     The record list starts with the ``meta`` record, then every span (in
-    the snapshot's order), then every metric (sorted by kind and name —
-    the snapshot is already deterministic).
+    the snapshot's order, each with its worker-lane ``tid``), then every
+    metric (sorted by kind and name — the snapshot is already
+    deterministic).
     """
     records: List[Dict[str, Any]] = [
         {"format": FORMAT, "type": "meta", "run": dict(run or {})}
     ]
+    lanes = worker_lanes(snapshot.get("spans", ()))
     for span in snapshot.get("spans", ()):
-        records.append({"format": FORMAT, "type": "span", **span})
+        records.append(
+            {
+                "format": FORMAT,
+                "type": "span",
+                "tid": lanes.get(span.get("pid", 0), 0),
+                **span,
+            }
+        )
     metrics = snapshot.get("metrics", {})
     for kind in _METRIC_KINDS:
         plural = kind + "s"
@@ -76,13 +126,16 @@ def validate_record(record: Any) -> List[str]:
     """Schema errors of one decoded record ([] means valid).
 
     Structural only — cross-record checks (parent resolution, meta
-    placement) live in :func:`validate_records`.
+    placement, format mixing) live in :func:`validate_records`.
     """
     if not isinstance(record, dict):
         return [f"record is {type(record).__name__}, not an object"]
     errors: List[str] = []
-    if record.get("format") != FORMAT:
-        errors.append(f"format is {record.get('format')!r}, not {FORMAT!r}")
+    fmt = record.get("format")
+    if fmt not in KNOWN_FORMATS:
+        errors.append(
+            f"format is {fmt!r}, not one of {'/'.join(KNOWN_FORMATS)}"
+        )
     kind = record.get("type")
     if kind == "meta":
         if not isinstance(record.get("run"), dict):
@@ -91,6 +144,8 @@ def validate_record(record: Any) -> List[str]:
         for name, expected in _SPAN_FIELDS.items():
             if not isinstance(record.get(name), expected):
                 errors.append(f"span field {name!r} missing or mistyped")
+        if fmt == FORMAT_V2 and not isinstance(record.get("tid"), int):
+            errors.append("v2 span field 'tid' missing or mistyped")
         parent = record.get("parent_id")
         if parent is not None and not isinstance(parent, int):
             errors.append("span parent_id must be an int or null")
@@ -121,12 +176,14 @@ def validate_records(records: Iterable[Any]) -> List[str]:
     """Schema errors across a whole record stream ([] means valid).
 
     Beyond per-record structure: the stream must be non-empty, start
-    with exactly one ``meta`` record, use unique span ids, and every
-    non-null ``parent_id`` must name a span in the stream.
+    with exactly one ``meta`` record, carry a single format marker
+    throughout, use unique span ids, and every non-null ``parent_id``
+    must name a span in the stream.
     """
     errors: List[str] = []
     span_ids = set()
     parents: List[tuple] = []
+    formats = set()
     n = 0
     for index, record in enumerate(records):
         n += 1
@@ -134,6 +191,8 @@ def validate_records(records: Iterable[Any]) -> List[str]:
             errors.append(f"record {index}: {problem}")
         if not isinstance(record, dict):
             continue
+        if record.get("format") in KNOWN_FORMATS:
+            formats.add(record["format"])
         if (record.get("type") == "meta") != (index == 0):
             errors.append(
                 f"record {index}: exactly one meta record, first, expected"
@@ -150,6 +209,11 @@ def validate_records(records: Iterable[Any]) -> List[str]:
                 parents.append((index, record["parent_id"]))
     if n == 0:
         errors.append("no records")
+    if len(formats) > 1:
+        errors.append(
+            "mixed format markers in one stream: "
+            + ", ".join(sorted(formats))
+        )
     for index, parent in parents:
         if parent not in span_ids:
             errors.append(
@@ -158,8 +222,22 @@ def validate_records(records: Iterable[Any]) -> List[str]:
     return errors
 
 
-def validate_jsonl(text: str) -> List[str]:
-    """Validate a JSONL document (undecodable lines are schema errors)."""
+def content_record_count(records: Iterable[Any]) -> int:
+    """How many span/metric records the stream carries.
+
+    A schema-valid export with zero content records (a bare ``meta``
+    line) is almost always a bug in the producer — nothing was traced —
+    so :mod:`repro.obs.check` treats it as a distinct failure mode.
+    """
+    return sum(
+        1
+        for record in records
+        if isinstance(record, dict) and record.get("type") in ("span", "metric")
+    )
+
+
+def parse_jsonl(text: str):
+    """Decode a JSONL document into ``(records, decode_errors)``."""
     records: List[Any] = []
     errors: List[str] = []
     lines = [line for line in text.splitlines() if line.strip()]
@@ -168,4 +246,10 @@ def validate_jsonl(text: str) -> List[str]:
             records.append(json.loads(line))
         except ValueError as exc:
             errors.append(f"line {number + 1}: not JSON ({exc})")
+    return records, errors
+
+
+def validate_jsonl(text: str) -> List[str]:
+    """Validate a JSONL document (undecodable lines are schema errors)."""
+    records, errors = parse_jsonl(text)
     return errors + validate_records(records)

@@ -1,0 +1,800 @@
+"""The scheduling observatory's persistent run store (SQLite).
+
+Every export the pipeline produces — ``repro.obs.v1``/``v2`` JSONL
+traces, engine timing reports (``repro.engine-timing.v1``), append-only
+journals (``repro.journal.v1``), and ``BENCH_*.json`` trajectories — is
+write-only on its own: you can validate it, but not aggregate two runs,
+diff them, or ask "which loops got slower".  :class:`RunStore` ingests
+all of them into one normalized SQLite database so those questions
+become queries:
+
+``runs``
+    One row per ingested run.  The ``run_id`` is content-addressed — the
+    SHA-256 of the canonical record stream — so ingesting the same
+    export twice is a no-op (dedupe by construction), while two *runs*
+    of the same corpus (whose span clocks differ) are distinct rows.
+
+``spans``
+    Every span, with its **self time** precomputed at ingest: the
+    span's duration minus the summed durations of its direct children —
+    the quantity flamegraphs and per-phase attribution are built on.
+    Each span also resolves its *owning loop* (the nearest ancestor
+    ``loop`` span's name) so per-loop attribution needs no tree walks
+    at query time.
+
+``metrics``
+    The deterministic counter/gauge/histogram registry, one row per
+    metric (histogram summaries stored as JSON).
+
+``loops``
+    Per-loop outcomes merged from every source that knows something
+    about the loop: the timing report (wall seconds, per-phase seconds,
+    cache hit/resume flags, failures), the span tree (achieved II, MII,
+    attempts, displacement/forced counts), and the journal (ok/failure
+    records).
+
+``profile_samples``
+    Collapsed call stacks from the sampling profiler
+    (:mod:`repro.obs.profile`), when the run was profiled.
+
+``bench_runs``
+    ``BENCH_*.json`` trajectory entries (one row per benchmark run),
+    keyed by (bench, unix_time) so re-ingesting a trajectory file only
+    adds the new tail.
+
+The derived views — phase profiles with p50/p95/p99, top-N loop
+attribution, statistical run-to-run diffs — live in
+:mod:`repro.obs.analyze`; the flamegraph exporter in
+:mod:`repro.obs.flame`; the CLI family (``repro obs ingest|report|
+diff|top|flame``) in :mod:`repro.obs.cli`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sqlite3
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.obs.schema import (
+    KNOWN_FORMATS,
+    parse_jsonl,
+    records_from_snapshot,
+    validate_records,
+    worker_lanes,
+)
+
+#: Engine timing-report format marker (kept in sync with analysis.engine).
+_TIMING_FORMAT = "repro.engine-timing.v1"
+_JOURNAL_FORMAT = "repro.journal.v1"
+
+_SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS runs (
+    run_id      TEXT PRIMARY KEY,
+    seq         INTEGER,
+    source      TEXT,
+    format      TEXT,
+    run_json    TEXT NOT NULL DEFAULT '{}',
+    n_spans     INTEGER NOT NULL DEFAULT 0,
+    n_loops     INTEGER NOT NULL DEFAULT 0,
+    n_failures  INTEGER NOT NULL DEFAULT 0,
+    wall_seconds REAL,
+    cache_hits  INTEGER,
+    cache_misses INTEGER,
+    resilience_json TEXT,
+    counters_json TEXT
+);
+CREATE TABLE IF NOT EXISTS spans (
+    run_id    TEXT NOT NULL,
+    span_id   INTEGER NOT NULL,
+    parent_id INTEGER,
+    name      TEXT NOT NULL,
+    start     REAL NOT NULL,
+    dur       REAL NOT NULL,
+    self_dur  REAL NOT NULL,
+    pid       INTEGER NOT NULL,
+    tid       INTEGER NOT NULL,
+    loop      TEXT,
+    attrs_json TEXT NOT NULL DEFAULT '{}',
+    PRIMARY KEY (run_id, span_id)
+);
+CREATE INDEX IF NOT EXISTS spans_by_name ON spans (run_id, name);
+CREATE TABLE IF NOT EXISTS metrics (
+    run_id    TEXT NOT NULL,
+    kind      TEXT NOT NULL,
+    name      TEXT NOT NULL,
+    value     REAL,
+    value_json TEXT,
+    PRIMARY KEY (run_id, kind, name)
+);
+CREATE TABLE IF NOT EXISTS loops (
+    run_id    TEXT NOT NULL,
+    idx       INTEGER NOT NULL,
+    name      TEXT,
+    key       TEXT,
+    cache_hit INTEGER,
+    resumed   INTEGER,
+    ok        INTEGER,
+    wall      REAL,
+    seconds_json TEXT,
+    ii        INTEGER,
+    mii       INTEGER,
+    attempts  INTEGER,
+    displaced INTEGER,
+    forced    INTEGER,
+    degraded  TEXT,
+    failure_kind TEXT,
+    failure_phase TEXT,
+    PRIMARY KEY (run_id, idx)
+);
+CREATE TABLE IF NOT EXISTS profile_samples (
+    run_id TEXT NOT NULL,
+    stack  TEXT NOT NULL,
+    count  INTEGER NOT NULL,
+    PRIMARY KEY (run_id, stack)
+);
+CREATE TABLE IF NOT EXISTS bench_runs (
+    bench     TEXT NOT NULL,
+    unix_time REAL NOT NULL,
+    source    TEXT,
+    payload_json TEXT NOT NULL,
+    PRIMARY KEY (bench, unix_time)
+);
+"""
+
+
+def run_id_for_records(records: Sequence[Any]) -> str:
+    """Content-addressed run id: SHA-256 of the canonical record stream.
+
+    Stable across processes and re-serialization (sorted keys, compact
+    separators), so the same export always lands on the same id and the
+    store dedupes it; any semantic difference — a span's clock included —
+    yields a new id.
+    """
+    digest = hashlib.sha256()
+    for record in records:
+        digest.update(
+            json.dumps(record, sort_keys=True, separators=(",", ":")).encode()
+        )
+        digest.update(b"\n")
+    return digest.hexdigest()[:16]
+
+
+def run_id_for_texts(texts: Iterable[str]) -> str:
+    """Content-addressed run id over raw artifact texts (ingest grouping)."""
+    digest = hashlib.sha256()
+    for text in texts:
+        digest.update(text.encode("utf-8", "replace"))
+        digest.update(b"\x00")
+    return digest.hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class IngestResult:
+    """Outcome of one ingest call."""
+
+    run_id: str
+    created: bool
+    kind: str
+    source: str = ""
+
+    def describe(self) -> str:
+        verb = "ingested" if self.created else "already present (deduped)"
+        return f"{self.kind} {self.source or '<memory>'}: run {self.run_id} {verb}"
+
+
+class StoreError(ValueError):
+    """A file could not be ingested or a run could not be resolved."""
+
+
+class RunStore:
+    """SQLite-backed store over every observability artifact of a repo.
+
+    Open with a filesystem path (created on demand) or ``":memory:"``.
+    All writes are transactional per ingest call; the store is safe to
+    re-open concurrently for reads.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = str(path)
+        if self.path != ":memory:":
+            Path(self.path).parent.mkdir(parents=True, exist_ok=True)
+        try:
+            self._db = sqlite3.connect(self.path)
+            self._db.row_factory = sqlite3.Row
+            self._db.executescript(_SCHEMA)
+        except sqlite3.Error as exc:
+            raise StoreError(f"{self.path}: not a usable store ({exc})")
+        version = self._db.execute("PRAGMA user_version").fetchone()[0]
+        if version == 0:
+            self._db.execute(f"PRAGMA user_version = {_SCHEMA_VERSION}")
+        elif version != _SCHEMA_VERSION:
+            raise StoreError(
+                f"{self.path}: store schema version {version}, "
+                f"this build reads {_SCHEMA_VERSION}"
+            )
+        self._db.commit()
+
+    def close(self) -> None:
+        self._db.close()
+
+    def __enter__(self) -> "RunStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- run bookkeeping ------------------------------------------------
+
+    def has_run(self, run_id: str) -> bool:
+        row = self._db.execute(
+            "SELECT 1 FROM runs WHERE run_id = ?", (run_id,)
+        ).fetchone()
+        return row is not None
+
+    def runs(self) -> List[Dict[str, Any]]:
+        """Every run, oldest first, as plain dicts."""
+        rows = self._db.execute(
+            "SELECT * FROM runs ORDER BY seq"
+        ).fetchall()
+        out = []
+        for row in rows:
+            record = dict(row)
+            record["run"] = json.loads(record.pop("run_json") or "{}")
+            record["resilience"] = json.loads(
+                record.pop("resilience_json") or "null"
+            )
+            record["counters"] = json.loads(
+                record.pop("counters_json") or "null"
+            )
+            out.append(record)
+        return out
+
+    def resolve_run(self, ref: Optional[str] = None) -> str:
+        """Resolve a run reference to a run id.
+
+        ``None``, ``""`` and ``"latest"`` mean the most recently ingested
+        run; otherwise ``ref`` must be a run id or a unique prefix.
+        """
+        if not ref or ref == "latest":
+            row = self._db.execute(
+                "SELECT run_id FROM runs ORDER BY seq DESC LIMIT 1"
+            ).fetchone()
+            if row is None:
+                raise StoreError(f"{self.path}: store holds no runs")
+            return row["run_id"]
+        rows = self._db.execute(
+            "SELECT run_id FROM runs WHERE run_id LIKE ? ORDER BY seq",
+            (ref + "%",),
+        ).fetchall()
+        if not rows:
+            raise StoreError(f"no run matches {ref!r}")
+        if len(rows) > 1:
+            matches = ", ".join(r["run_id"] for r in rows)
+            raise StoreError(f"run reference {ref!r} is ambiguous: {matches}")
+        return rows[0]["run_id"]
+
+    def _create_run(self, run_id: str, source: str, fmt: str) -> None:
+        seq = self._db.execute(
+            "SELECT COALESCE(MAX(seq), 0) + 1 FROM runs"
+        ).fetchone()[0]
+        self._db.execute(
+            "INSERT INTO runs (run_id, seq, source, format) VALUES (?,?,?,?)",
+            (run_id, seq, source, fmt),
+        )
+
+    def _ensure_run(self, run_id: str, source: str, fmt: str) -> bool:
+        """True when the run row was just created (False: already there)."""
+        if self.has_run(run_id):
+            return False
+        self._create_run(run_id, source, fmt)
+        return True
+
+    # -- ingest: obs record streams -------------------------------------
+
+    def ingest_records(
+        self,
+        records: Sequence[Dict[str, Any]],
+        run_id: Optional[str] = None,
+        source: str = "",
+    ) -> IngestResult:
+        """Ingest a validated ``repro.obs`` record stream as one run.
+
+        Re-ingesting a stream whose content hash (or explicit
+        ``run_id``) is already present is a no-op — the dedupe the
+        determinism tests assert.
+        """
+        errors = validate_records(records)
+        if errors:
+            raise StoreError(
+                f"{source or 'records'}: not a valid obs export: "
+                + "; ".join(errors[:5])
+            )
+        run_id = run_id or run_id_for_records(records)
+        if self.has_run(run_id):
+            return IngestResult(run_id, False, "obs", source)
+        meta = records[0]
+        fmt = meta.get("format", KNOWN_FORMATS[0])
+        self._create_run(run_id, source, fmt)
+        self._db.execute(
+            "UPDATE runs SET run_json = ? WHERE run_id = ?",
+            (json.dumps(meta.get("run", {}), sort_keys=True), run_id),
+        )
+        spans = [r for r in records if r.get("type") == "span"]
+        self._insert_spans(run_id, spans)
+        for record in records:
+            if record.get("type") != "metric":
+                continue
+            value = record.get("value")
+            if isinstance(value, dict):
+                self._db.execute(
+                    "INSERT OR REPLACE INTO metrics "
+                    "(run_id, kind, name, value, value_json) "
+                    "VALUES (?,?,?,?,?)",
+                    (
+                        run_id,
+                        record["kind"],
+                        record["name"],
+                        None,
+                        json.dumps(value, sort_keys=True),
+                    ),
+                )
+            else:
+                self._db.execute(
+                    "INSERT OR REPLACE INTO metrics "
+                    "(run_id, kind, name, value, value_json) "
+                    "VALUES (?,?,?,?,?)",
+                    (run_id, record["kind"], record["name"], value, None),
+                )
+        self._derive_loops_from_spans(run_id, spans)
+        self._db.execute(
+            "UPDATE runs SET n_spans = ? WHERE run_id = ?",
+            (len(spans), run_id),
+        )
+        self._db.commit()
+        return IngestResult(run_id, True, "obs", source)
+
+    def _insert_spans(
+        self, run_id: str, spans: Sequence[Dict[str, Any]]
+    ) -> None:
+        """Insert spans with derived self time, lane tid and owning loop."""
+        lanes = worker_lanes(spans)
+        child_dur: Dict[Any, float] = {}
+        for span in spans:
+            parent = span.get("parent_id")
+            if parent is not None:
+                child_dur[parent] = child_dur.get(parent, 0.0) + span["dur"]
+        by_id = {span["span_id"]: span for span in spans}
+
+        def owning_loop(span: Dict[str, Any]) -> Optional[str]:
+            seen = set()
+            node: Optional[Dict[str, Any]] = span
+            while node is not None and node["span_id"] not in seen:
+                seen.add(node["span_id"])
+                if node.get("name") == "loop":
+                    return node.get("attrs", {}).get("loop")
+                parent = node.get("parent_id")
+                node = by_id.get(parent) if parent is not None else None
+            return None
+
+        rows = []
+        for span in spans:
+            self_dur = max(
+                0.0, span["dur"] - child_dur.get(span["span_id"], 0.0)
+            )
+            rows.append(
+                (
+                    run_id,
+                    span["span_id"],
+                    span.get("parent_id"),
+                    span["name"],
+                    span["start"],
+                    span["dur"],
+                    self_dur,
+                    span.get("pid", 0),
+                    span.get("tid", lanes.get(span.get("pid", 0), 0)),
+                    owning_loop(span),
+                    json.dumps(span.get("attrs", {}), sort_keys=True),
+                )
+            )
+        self._db.executemany(
+            "INSERT OR REPLACE INTO spans VALUES (?,?,?,?,?,?,?,?,?,?,?)",
+            rows,
+        )
+
+    def _derive_loops_from_spans(
+        self, run_id: str, spans: Sequence[Dict[str, Any]]
+    ) -> None:
+        """Fold per-loop attribution out of the span tree.
+
+        The ``loop`` span carries the loop's identity and outcome; its
+        ``schedule`` descendant the achieved II/MII/attempt count; the
+        ``schedule.attempt`` descendants the displacement and forcing
+        tallies.  Retried loops keep the *last* attempt's outcome (the
+        one that stuck) but accumulate attempt-level tallies across the
+        whole span set, matching how the engine charges work.
+        """
+        by_id = {span["span_id"]: span for span in spans}
+
+        def loop_ancestor(span: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+            node, seen = span, set()
+            while node is not None and node["span_id"] not in seen:
+                seen.add(node["span_id"])
+                if node.get("name") == "loop":
+                    return node
+                parent = node.get("parent_id")
+                node = by_id.get(parent) if parent is not None else None
+            return None
+
+        per_loop: Dict[str, Dict[str, Any]] = {}
+        for span in spans:
+            if span.get("name") != "loop":
+                continue
+            attrs = span.get("attrs", {})
+            name = attrs.get("loop")
+            if name is None:
+                continue
+            entry = per_loop.setdefault(name, {"displaced": 0, "forced": 0})
+            entry["name"] = name
+            entry["idx"] = attrs.get("index", entry.get("idx"))
+            entry["wall"] = entry.get("wall", 0.0) + span["dur"]
+            if "ok" in attrs:
+                entry["ok"] = bool(attrs["ok"])
+            if "ii" in attrs:
+                entry["ii"] = attrs["ii"]
+            if "degraded" in attrs:
+                entry["degraded"] = attrs["degraded"]
+            if "failed_phase" in attrs:
+                entry["failure_phase"] = attrs["failed_phase"]
+        for span in spans:
+            owner = loop_ancestor(span)
+            if owner is None:
+                continue
+            name = owner.get("attrs", {}).get("loop")
+            entry = per_loop.get(name)
+            if entry is None:
+                continue
+            attrs = span.get("attrs", {})
+            if span.get("name") == "schedule":
+                if "mii" in attrs:
+                    entry["mii"] = attrs["mii"]
+                if "ii" in attrs:
+                    entry.setdefault("ii", attrs["ii"])
+                if "attempts" in attrs:
+                    entry["attempts"] = max(
+                        entry.get("attempts", 0), attrs["attempts"]
+                    )
+            elif span.get("name") == "schedule.attempt":
+                entry["displaced"] += attrs.get("displaced", 0)
+                entry["forced"] += attrs.get("forced", 0)
+        fallback = max(
+            (e.get("idx") for e in per_loop.values()
+             if isinstance(e.get("idx"), int)),
+            default=-1,
+        )
+        for entry in per_loop.values():
+            if not isinstance(entry.get("idx"), int):
+                fallback += 1
+                entry["idx"] = fallback
+            self.upsert_loop(run_id, entry["idx"], **{
+                k: v for k, v in entry.items() if k != "idx"
+            })
+
+    def upsert_loop(self, run_id: str, idx: int, **fields) -> None:
+        """Merge non-None fields into the (run, idx) loop row."""
+        allowed = (
+            "name", "key", "cache_hit", "resumed", "ok", "wall",
+            "seconds_json", "ii", "mii", "attempts", "displaced",
+            "forced", "degraded", "failure_kind", "failure_phase",
+        )
+        self._db.execute(
+            "INSERT OR IGNORE INTO loops (run_id, idx) VALUES (?, ?)",
+            (run_id, idx),
+        )
+        for field in allowed:
+            if field in fields and fields[field] is not None:
+                value = fields[field]
+                if isinstance(value, bool):
+                    value = int(value)
+                self._db.execute(
+                    f"UPDATE loops SET {field} = ? WHERE run_id = ? AND idx = ?",
+                    (value, run_id, idx),
+                )
+        self._db.execute(
+            "UPDATE runs SET n_loops = "
+            "(SELECT COUNT(*) FROM loops WHERE run_id = ?) WHERE run_id = ?",
+            (run_id, run_id),
+        )
+
+    # -- ingest: engine timing reports ----------------------------------
+
+    def ingest_timing_report(
+        self,
+        report: Dict[str, Any],
+        run_id: Optional[str] = None,
+        source: str = "",
+    ) -> IngestResult:
+        """Ingest a ``repro.engine-timing.v1`` document.
+
+        Without an explicit ``run_id`` the report is content-addressed
+        on its own; pass the run id of the matching obs export to merge
+        both artifacts into one run (what ``corpus --obs-db`` does).
+        """
+        if report.get("format") != _TIMING_FORMAT:
+            raise StoreError(
+                f"{source or 'report'}: not an engine timing report "
+                f"(format {report.get('format')!r})"
+            )
+        run_id = run_id or run_id_for_records([report])
+        created = self._ensure_run(run_id, source, _TIMING_FORMAT)
+        merged_run = {
+            "machine": report.get("machine"),
+            "jobs": report.get("jobs"),
+        }
+        row = self._db.execute(
+            "SELECT run_json FROM runs WHERE run_id = ?", (run_id,)
+        ).fetchone()
+        existing = json.loads(row["run_json"] or "{}")
+        existing.update({k: v for k, v in merged_run.items() if v is not None})
+        self._db.execute(
+            "UPDATE runs SET run_json = ?, wall_seconds = ?, "
+            "cache_hits = ?, cache_misses = ?, resilience_json = ?, "
+            "counters_json = ?, n_failures = ? WHERE run_id = ?",
+            (
+                json.dumps(existing, sort_keys=True),
+                report.get("wall_seconds"),
+                (report.get("cache") or {}).get("hits"),
+                (report.get("cache") or {}).get("misses"),
+                json.dumps(report.get("resilience") or {}, sort_keys=True),
+                json.dumps(report.get("counters") or {}, sort_keys=True),
+                len(report.get("failures") or ()),
+                run_id,
+            ),
+        )
+        for loop in report.get("loops", ()):
+            seconds = loop.get("seconds") or {}
+            self.upsert_loop(
+                run_id,
+                loop["index"],
+                name=loop.get("loop"),
+                key=loop.get("key"),
+                cache_hit=loop.get("cache_hit"),
+                resumed=loop.get("resumed"),
+                wall=seconds.get("total"),
+                seconds_json=json.dumps(seconds, sort_keys=True),
+            )
+        for failure in report.get("failures", ()):
+            self.upsert_loop(
+                run_id,
+                failure["index"],
+                name=failure.get("loop"),
+                ok=False,
+                failure_kind=failure.get("kind"),
+                failure_phase=failure.get("phase"),
+            )
+        self._db.commit()
+        return IngestResult(run_id, created, "timing", source)
+
+    # -- ingest: journals -----------------------------------------------
+
+    def ingest_journal(
+        self,
+        path,
+        run_id: Optional[str] = None,
+        source: str = "",
+    ) -> IngestResult:
+        """Ingest a ``repro.journal.v1`` checkpoint journal's outcomes."""
+        path = Path(path)
+        text = path.read_text()
+        records, _ = parse_jsonl(text)
+        journal = [
+            r
+            for r in records
+            if isinstance(r, dict) and r.get("format") == _JOURNAL_FORMAT
+        ]
+        if not journal:
+            raise StoreError(f"{path}: no repro.journal.v1 records")
+        run_id = run_id or run_id_for_texts([text])
+        created = self._ensure_run(run_id, source or str(path), _JOURNAL_FORMAT)
+        for record in journal:
+            failure = record.get("failure") or {}
+            self.upsert_loop(
+                run_id,
+                record["index"],
+                name=record.get("loop"),
+                key=record.get("key"),
+                ok=bool(record.get("ok")),
+                failure_kind=failure.get("kind"),
+                failure_phase=failure.get("phase"),
+            )
+        self._db.commit()
+        return IngestResult(run_id, created, "journal", source or str(path))
+
+    # -- ingest: bench trajectories -------------------------------------
+
+    def ingest_bench_trajectory(self, path) -> int:
+        """Ingest a ``BENCH_*.json`` trajectory; returns new rows added.
+
+        Keyed by (bench, unix_time): re-ingesting an extended trajectory
+        adds only the new tail, turning the one-shot JSON blob into a
+        tracked time series.
+        """
+        path = Path(path)
+        data = json.loads(path.read_text())
+        runs = data.get("runs")
+        if not isinstance(runs, list):
+            raise StoreError(f"{path}: not a BENCH_*.json trajectory")
+        added = 0
+        for entry in runs:
+            if not isinstance(entry, dict) or "bench" not in entry:
+                continue
+            cursor = self._db.execute(
+                "INSERT OR IGNORE INTO bench_runs "
+                "(bench, unix_time, source, payload_json) VALUES (?,?,?,?)",
+                (
+                    entry["bench"],
+                    float(entry.get("unix_time", 0.0)),
+                    str(path),
+                    json.dumps(entry, sort_keys=True),
+                ),
+            )
+            added += cursor.rowcount
+        self._db.commit()
+        return added
+
+    def bench_series(self, bench: str) -> List[Dict[str, Any]]:
+        """The time series of one benchmark, oldest first."""
+        rows = self._db.execute(
+            "SELECT payload_json FROM bench_runs WHERE bench = ? "
+            "ORDER BY unix_time",
+            (bench,),
+        ).fetchall()
+        return [json.loads(row["payload_json"]) for row in rows]
+
+    # -- ingest: profiler samples ---------------------------------------
+
+    def ingest_profile(
+        self, run_id: str, samples: Dict[str, int]
+    ) -> None:
+        """Merge collapsed-stack sample counts into a run."""
+        for stack, count in samples.items():
+            self._db.execute(
+                "INSERT INTO profile_samples (run_id, stack, count) "
+                "VALUES (?,?,?) ON CONFLICT (run_id, stack) "
+                "DO UPDATE SET count = count + excluded.count",
+                (run_id, stack, int(count)),
+            )
+        self._db.commit()
+
+    def profile_samples(self, run_id: str) -> Dict[str, int]:
+        rows = self._db.execute(
+            "SELECT stack, count FROM profile_samples WHERE run_id = ? "
+            "ORDER BY stack",
+            (run_id,),
+        ).fetchall()
+        return {row["stack"]: row["count"] for row in rows}
+
+    # -- ingest: anything (file sniffing) -------------------------------
+
+    def ingest_path(
+        self, path, run_id: Optional[str] = None
+    ) -> IngestResult:
+        """Ingest one artifact file, sniffing its format.
+
+        Recognizes obs JSONL exports, engine timing reports, journals
+        and bench trajectories; raises :class:`StoreError` otherwise.
+        """
+        path = Path(path)
+        text = path.read_text()
+        stripped = text.lstrip()
+        if stripped.startswith("{") and "\n{" not in stripped.rstrip():
+            # A single JSON document: timing report or bench trajectory.
+            try:
+                data = json.loads(text)
+            except ValueError as exc:
+                raise StoreError(f"{path}: not JSON ({exc})") from None
+            if isinstance(data, dict):
+                if data.get("format") == _TIMING_FORMAT:
+                    return self.ingest_timing_report(
+                        data, run_id=run_id, source=str(path)
+                    )
+                if data.get("format") == _JOURNAL_FORMAT:
+                    return self.ingest_journal(path, run_id=run_id)
+                if isinstance(data.get("runs"), list):
+                    added = self.ingest_bench_trajectory(path)
+                    return IngestResult(
+                        f"bench:{path.stem}", added > 0, "bench", str(path)
+                    )
+            raise StoreError(f"{path}: unrecognized JSON document")
+        records, errors = parse_jsonl(text)
+        if records and all(
+            isinstance(r, dict) and r.get("format") == _JOURNAL_FORMAT
+            for r in records
+        ):
+            return self.ingest_journal(path, run_id=run_id)
+        if errors:
+            raise StoreError(f"{path}: {errors[0]}")
+        return self.ingest_records(records, run_id=run_id, source=str(path))
+
+    def ingest_run_artifacts(
+        self,
+        snapshot: Dict[str, Any],
+        run: Optional[Dict[str, Any]] = None,
+        timing_report: Optional[Dict[str, Any]] = None,
+        profile: Optional[Dict[str, int]] = None,
+        source: str = "",
+    ) -> IngestResult:
+        """Record one live engine run (snapshot + report + profile).
+
+        This is the ``corpus --obs-db`` entry point: everything the run
+        produced lands under a single content-addressed run id.
+        """
+        records = records_from_snapshot(snapshot, run=run)
+        result = self.ingest_records(records, source=source)
+        if timing_report is not None:
+            self.ingest_timing_report(
+                timing_report, run_id=result.run_id, source=source
+            )
+        if profile:
+            self.ingest_profile(result.run_id, profile)
+        return result
+
+    # -- queries the analyzers build on ---------------------------------
+
+    def span_rows(self, run_id: str) -> List[sqlite3.Row]:
+        return self._db.execute(
+            "SELECT * FROM spans WHERE run_id = ? ORDER BY span_id",
+            (run_id,),
+        ).fetchall()
+
+    def loop_rows(self, run_id: str) -> List[sqlite3.Row]:
+        return self._db.execute(
+            "SELECT * FROM loops WHERE run_id = ? ORDER BY idx",
+            (run_id,),
+        ).fetchall()
+
+    def run_row(self, run_id: str) -> Dict[str, Any]:
+        row = self._db.execute(
+            "SELECT * FROM runs WHERE run_id = ?", (run_id,)
+        ).fetchone()
+        if row is None:
+            raise StoreError(f"no run {run_id!r}")
+        record = dict(row)
+        record["run"] = json.loads(record.pop("run_json") or "{}")
+        record["resilience"] = json.loads(
+            record.pop("resilience_json") or "null"
+        )
+        record["counters"] = json.loads(record.pop("counters_json") or "null")
+        return record
+
+    def metric_rows(self, run_id: str) -> List[sqlite3.Row]:
+        return self._db.execute(
+            "SELECT * FROM metrics WHERE run_id = ? ORDER BY kind, name",
+            (run_id,),
+        ).fetchall()
+
+    def counters(self, run_id: str) -> Dict[str, float]:
+        """The run's counter metrics as a plain dict."""
+        return {
+            row["name"]: row["value"]
+            for row in self._db.execute(
+                "SELECT name, value FROM metrics "
+                "WHERE run_id = ? AND kind = 'counter' ORDER BY name",
+                (run_id,),
+            )
+        }
+
+    def phase_durations(self, run_id: str) -> Dict[str, List[float]]:
+        """Per-span-name lists of (self-time) durations, name-sorted."""
+        out: Dict[str, List[float]] = {}
+        for row in self._db.execute(
+            "SELECT name, self_dur FROM spans WHERE run_id = ? "
+            "ORDER BY name, span_id",
+            (run_id,),
+        ):
+            out.setdefault(row["name"], []).append(row["self_dur"])
+        return out

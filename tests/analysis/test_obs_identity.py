@@ -141,3 +141,65 @@ class TestSpanCoverage:
 
         obs, _ = _traced_run(machine, corpus, jobs=2)
         assert validate_records(records_from_snapshot(obs.to_dict())) == []
+
+
+class TestObservatoryDeterminism:
+    """The run store sees the same determinism the snapshots promise:
+    re-ingesting a run is a no-op, and a run diffed against itself is
+    clean whatever ``jobs`` produced it."""
+
+    def _record(self, store, machine, corpus, jobs):
+        from repro.obs.store import RunStore  # noqa: F401  (type context)
+
+        obs, result = _traced_run(machine, corpus, jobs=jobs)
+        return store.ingest_run_artifacts(
+            obs.to_dict(),
+            run={"command": "corpus", "jobs": jobs},
+            timing_report=result.timing_report(),
+            source="test",
+        )
+
+    @pytest.mark.parametrize("jobs", [1, 2, 4])
+    def test_double_ingest_dedupes_by_run_id(self, machine, corpus, jobs):
+        from repro.obs.store import RunStore
+
+        obs, result = _traced_run(machine, corpus, jobs=jobs)
+        snapshot = obs.to_dict()
+        report = result.timing_report()
+        with RunStore(":memory:") as store:
+            first = store.ingest_run_artifacts(
+                snapshot, run={"jobs": jobs}, timing_report=report
+            )
+            again = store.ingest_run_artifacts(
+                snapshot, run={"jobs": jobs}, timing_report=report
+            )
+            assert first.created and not again.created
+            assert first.run_id == again.run_id
+            assert len(store.runs()) == 1
+
+    @pytest.mark.parametrize("jobs", [1, 2, 4])
+    def test_self_diff_reports_zero_regressions(self, machine, corpus, jobs):
+        from repro.obs.analyze import diff_runs
+        from repro.obs.store import RunStore
+
+        with RunStore(":memory:") as store:
+            run_id = self._record(store, machine, corpus, jobs).run_id
+            diff = diff_runs(store, run_id, run_id)
+            assert diff.clean
+            assert diff.regressions == []
+            assert diff.new_failure_kinds == []
+            assert diff.vanished_failure_kinds == []
+            assert diff.slower_loops == []
+
+    def test_serial_vs_parallel_runs_diff_clean(self, machine, corpus):
+        """jobs=1 and jobs=4 trace the same work; only timing jitter
+        separates them, and the noise gate eats that."""
+        from repro.obs.analyze import diff_runs
+        from repro.obs.store import RunStore
+
+        with RunStore(":memory:") as store:
+            serial = self._record(store, machine, corpus, jobs=1).run_id
+            parallel = self._record(store, machine, corpus, jobs=4).run_id
+            diff = diff_runs(store, serial, parallel)
+            assert diff.new_failure_kinds == []
+            assert diff.counter_deltas == {}  # metrics are byte-identical

@@ -14,7 +14,7 @@ from repro.obs.exporters import (
     write_export,
     write_jsonl,
 )
-from repro.obs.schema import FORMAT, validate_jsonl
+from repro.obs.schema import FORMAT, validate_jsonl, worker_lanes
 from repro.workloads import synthetic_graph
 
 
@@ -76,12 +76,33 @@ class TestChromeTrace:
         ]
         assert children  # the scheduling spans nest under loop spans
 
-    def test_process_name_metadata_per_pid(self, snapshot):
+    def test_all_events_share_one_trace_pid(self, snapshot):
+        trace = to_chrome_trace(snapshot)
+        assert len({e["pid"] for e in trace["traceEvents"]}) == 1
+
+    def test_process_and_thread_name_metadata(self, snapshot):
         trace = to_chrome_trace(snapshot)
         metadata = [e for e in trace["traceEvents"] if e["ph"] == "M"]
-        pids = {s["pid"] for s in snapshot["spans"]}
-        assert {e["pid"] for e in metadata} == pids
-        assert all(e["name"] == "process_name" for e in metadata)
+        names = {e["name"] for e in metadata}
+        assert names == {"process_name", "thread_name"}
+        lanes = worker_lanes(snapshot["spans"])
+        thread_names = [e for e in metadata if e["name"] == "thread_name"]
+        # One labeled lane per worker pid, tids matching the stable lanes.
+        assert {e["tid"] for e in thread_names} == set(lanes.values())
+        assert any(
+            e["args"]["name"].startswith("engine") for e in thread_names
+        )
+
+    def test_span_tids_are_stable_lanes_and_pid_rides_in_args(self, snapshot):
+        trace = to_chrome_trace(snapshot)
+        lanes = worker_lanes(snapshot["spans"])
+        by_id = {s["span_id"]: s for s in snapshot["spans"]}
+        for event in trace["traceEvents"]:
+            if event["ph"] != "X":
+                continue
+            span = by_id[event["args"]["span_id"]]
+            assert event["tid"] == lanes[span["pid"]]
+            assert event["args"]["pid"] == span["pid"]
 
     def test_metrics_and_run_land_in_other_data(self, snapshot):
         trace = to_chrome_trace(snapshot, run={"jobs": 4})

@@ -1,0 +1,111 @@
+"""Collapsed-stack flamegraph export from spans and profiler samples."""
+
+import pytest
+
+from repro.obs import ObsContext
+from repro.obs.flame import (
+    collapse_spans,
+    flamegraph_from_store,
+    folded_lines,
+    write_flamegraph,
+)
+from repro.obs.schema import records_from_snapshot
+from repro.obs.store import RunStore
+
+
+def _spans():
+    """root(1.0s) > mid(0.6s) > leaf(0.2s): self times 0.4/0.4/0.2."""
+    return [
+        {"span_id": 1, "parent_id": None, "name": "root", "start": 0.0,
+         "dur": 1.0, "pid": 1, "attrs": {}},
+        {"span_id": 2, "parent_id": 1, "name": "mid", "start": 0.1,
+         "dur": 0.6, "pid": 1, "attrs": {}},
+        {"span_id": 3, "parent_id": 2, "name": "leaf", "start": 0.2,
+         "dur": 0.2, "pid": 1, "attrs": {}},
+    ]
+
+
+class TestCollapseSpans:
+    def test_weights_are_self_time_in_microseconds(self):
+        folded = collapse_spans(_spans())
+        assert folded["root"] == pytest.approx(400_000)
+        assert folded["root;mid"] == pytest.approx(400_000)
+        assert folded["root;mid;leaf"] == pytest.approx(200_000)
+
+    def test_total_weight_equals_root_wall_clock(self):
+        folded = collapse_spans(_spans())
+        assert sum(folded.values()) == pytest.approx(1_000_000)
+
+    def test_zero_self_time_stacks_are_dropped(self):
+        spans = _spans()
+        spans[1]["dur"] = 1.0  # mid fills root entirely
+        folded = collapse_spans(spans)
+        assert "root" not in folded
+        assert "root;mid" in folded
+
+    def test_empty_input(self):
+        assert collapse_spans([]) == {}
+
+
+class TestFoldedLines:
+    def test_lines_are_stack_space_weight(self):
+        lines = folded_lines(collapse_spans(_spans()))
+        for line in lines:
+            stack, weight = line.rsplit(" ", 1)
+            assert stack and int(weight) > 0  # standard tooling parses this
+
+    def test_output_is_sorted_and_deterministic(self):
+        a = folded_lines(collapse_spans(_spans()))
+        b = folded_lines(collapse_spans(list(reversed(_spans()))))
+        assert a == b == sorted(a)
+
+
+class TestFromStore:
+    @pytest.fixture()
+    def store(self):
+        with RunStore(":memory:") as s:
+            yield s
+
+    def _traced_run(self, store):
+        # Fixed durations: real ObsContext spans can be sub-microsecond
+        # and their stacks would be (correctly) dropped as zero-weight.
+        obs = ObsContext()
+        with obs.span("corpus.evaluate"):
+            with obs.span("loop", loop="dot"):
+                with obs.span("scheduling"):
+                    pass
+        snapshot = obs.to_dict()
+        durs = {"corpus.evaluate": 1.0, "loop": 0.5, "scheduling": 0.25}
+        for span in snapshot["spans"]:
+            span["dur"] = durs[span["name"]]
+        return store.ingest_records(
+            records_from_snapshot(snapshot)
+        ).run_id
+
+    def test_span_source(self, store):
+        run_id = self._traced_run(store)
+        lines = flamegraph_from_store(store, run_id)
+        stacks = [line.rsplit(" ", 1)[0] for line in lines]
+        assert any(s.endswith("loop;scheduling") for s in stacks)
+
+    def test_profile_source(self, store):
+        run_id = self._traced_run(store)
+        store.ingest_profile(run_id, {"engine:_run;scheduler:schedule": 9})
+        lines = flamegraph_from_store(store, run_id, source="profile")
+        assert lines == ["engine:_run;scheduler:schedule 9"]
+
+    def test_unknown_source_raises(self, store):
+        run_id = self._traced_run(store)
+        with pytest.raises(ValueError, match="source"):
+            flamegraph_from_store(store, run_id, source="tea-leaves")
+
+    def test_write_flamegraph(self, store, tmp_path):
+        run_id = self._traced_run(store)
+        path = write_flamegraph(
+            flamegraph_from_store(store, run_id), tmp_path / "flame.folded"
+        )
+        text = path.read_text()
+        assert text.endswith("\n")
+        for line in text.splitlines():
+            stack, weight = line.rsplit(" ", 1)
+            assert stack and int(weight) >= 0

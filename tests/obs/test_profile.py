@@ -1,0 +1,184 @@
+"""The sampling profiler: sampling, harvesting, degradation, overhead.
+
+The overhead guard at the bottom is an acceptance criterion: ``--profile``
+must stay within 10% of unprofiled wall clock on a smoke corpus, and the
+disabled path must not even instantiate a profiler (the ``NULL_OBS``
+byte-identity benchmark in ``test_context.py`` covers the span side).
+"""
+
+import time
+
+import pytest
+
+import repro.obs.profile as profile_mod
+from repro.machine import cydra5
+from repro.obs.profile import (
+    DEFAULT_INTERVAL,
+    SamplingProfiler,
+    merge_samples,
+    shared_profiler,
+    stop_shared,
+)
+from repro.workloads import build_corpus
+
+
+def _burn(seconds=0.25):
+    """Consume CPU in pure Python so ITIMER_PROF has something to bill."""
+    deadline = time.process_time() + seconds
+    total = 0
+    while time.process_time() < deadline:
+        total += sum(i * i for i in range(200))
+    return total
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_shared_profiler():
+    stop_shared()
+    yield
+    stop_shared()
+
+
+class TestSampling:
+    def test_busy_loop_is_sampled(self):
+        with SamplingProfiler(interval=0.001) as profiler:
+            assert profiler.mode in ("sigprof", "thread")
+            _burn()
+        samples = profiler.collapsed()
+        assert samples
+        assert any("test_profile:_burn" in stack for stack in samples)
+
+    def test_stacks_are_root_first_semicolon_joined(self):
+        with SamplingProfiler(interval=0.001) as profiler:
+            _burn()
+        for stack in profiler.collapsed():
+            frames = stack.split(";")
+            assert all(":" in frame for frame in frames)
+            # The test runner's frames sit above (before) the burn frame.
+            if "test_profile:_burn" in frames:
+                assert frames.index("test_profile:_burn") > 0
+
+    def test_take_harvests_and_resets_without_disarming(self):
+        profiler = SamplingProfiler(interval=0.001).start()
+        try:
+            _burn()
+            first = profiler.take()
+            assert first
+            assert profiler.samples == {}
+            assert profiler.mode != "off"  # still armed
+            _burn()
+            second = profiler.take()
+            assert second  # the timer kept firing after the harvest
+        finally:
+            profiler.stop()
+
+    def test_stop_disarms(self):
+        profiler = SamplingProfiler(interval=0.001).start()
+        profiler.stop()
+        assert profiler.mode == "off"
+        before = dict(profiler.samples)
+        _burn(0.05)
+        assert profiler.samples == before
+
+
+class TestDegradation:
+    def test_thread_fallback_when_sigprof_unavailable(self, monkeypatch):
+        monkeypatch.setattr(
+            SamplingProfiler, "_start_sigprof", lambda self: False
+        )
+        with SamplingProfiler(interval=0.001) as profiler:
+            assert profiler.mode == "thread"
+            _burn()
+        assert profiler.collapsed()
+
+    def test_silent_noop_when_everything_fails(self, monkeypatch):
+        monkeypatch.setattr(
+            SamplingProfiler, "_start_sigprof", lambda self: False
+        )
+        monkeypatch.setattr(
+            SamplingProfiler, "_start_thread", lambda self: False
+        )
+        with SamplingProfiler() as profiler:
+            assert profiler.mode == "off"
+            _burn(0.02)
+        assert profiler.collapsed() == {}
+
+
+class TestMergeAndCollapse:
+    def test_merge_samples_adds(self):
+        into = {"a;b": 2}
+        merge_samples(into, [{"a;b": 3, "c": 1}, {}, None, {"c": 4}])
+        assert into == {"a;b": 5, "c": 5}
+
+    def test_collapsed_strips_profiler_frames(self):
+        profiler = SamplingProfiler()
+        profiler.samples = {
+            "engine:_run;profile:_on_sigprof": 3,
+            "engine:_run;scheduler:schedule": 2,
+            "profile:_on_sigprof": 1,  # nothing left: dropped
+        }
+        assert profiler.collapsed() == {
+            "engine:_run": 3,
+            "engine:_run;scheduler:schedule": 2,
+        }
+
+
+class TestSharedProfiler:
+    def test_shared_is_a_singleton_until_stopped(self):
+        a = shared_profiler(0.001)
+        b = shared_profiler(0.001)
+        assert a is b
+        stop_shared()
+        assert profile_mod._shared is None
+        c = shared_profiler(0.001)
+        assert c is not a
+
+    def test_stop_shared_without_start_is_a_noop(self):
+        stop_shared()
+        stop_shared()
+
+
+class TestEngineIntegration:
+    @pytest.fixture(scope="class")
+    def machine(self):
+        return cydra5()
+
+    @pytest.fixture(scope="class")
+    def corpus(self, machine):
+        return build_corpus(machine, n_synthetic=8, seed=5)
+
+    def _wall(self, machine, corpus, profile_interval):
+        from repro.analysis.engine import EvaluationEngine
+
+        best = float("inf")
+        for _ in range(3):
+            engine = EvaluationEngine(
+                machine, jobs=1, profile_interval=profile_interval
+            )
+            start = time.perf_counter()
+            result = engine.evaluate(corpus)
+            best = min(best, time.perf_counter() - start)
+        return best, result
+
+    def test_profiled_run_collects_samples(self, machine, corpus):
+        _, result = self._wall(machine, corpus, DEFAULT_INTERVAL)
+        assert result.profile is not None
+        # Serial path must disarm the caller's process when done.
+        assert profile_mod._shared is None
+
+    def test_disabled_path_does_no_profiler_work(self, machine, corpus):
+        _, result = self._wall(machine, corpus, None)
+        assert result.profile is None
+        assert profile_mod._shared is None
+
+    def test_overhead_guard_within_ten_percent(self, machine, corpus):
+        """Acceptance: --profile costs <= 10% wall clock on a smoke corpus.
+
+        Best-of-three on both sides squeezes scheduler jitter out; the
+        absolute slack absorbs sub-millisecond timer noise on a corpus
+        this small.
+        """
+        off, _ = self._wall(machine, corpus, None)
+        on, _ = self._wall(machine, corpus, DEFAULT_INTERVAL)
+        assert on <= off * 1.10 + 0.05, (
+            f"profiled {on:.3f}s vs unprofiled {off:.3f}s exceeds 10%"
+        )

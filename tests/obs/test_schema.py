@@ -1,4 +1,4 @@
-"""The ``repro.obs.v1`` schema, its validator, and the CLI checker."""
+"""The ``repro.obs.v2`` schema, its validator, and the CLI checker."""
 
 import json
 
@@ -6,10 +6,13 @@ from repro.obs import ObsContext
 from repro.obs.check import check_paths, main
 from repro.obs.schema import (
     FORMAT,
+    FORMAT_V1,
+    content_record_count,
     records_from_snapshot,
     validate_jsonl,
     validate_record,
     validate_records,
+    worker_lanes,
 )
 
 
@@ -47,13 +50,23 @@ class TestValidateRecord:
         record = {
             "format": FORMAT, "type": "span", "name": "x", "span_id": 1,
             "parent_id": None, "start": 1.0, "dur": 0.5, "pid": 1,
-            "attrs": {},
+            "tid": 0, "attrs": {},
         }
         record.update(overrides)
         return record
 
     def test_good_span_has_no_errors(self):
         assert validate_record(self._span()) == []
+
+    def test_v2_span_requires_a_tid(self):
+        record = self._span()
+        del record["tid"]
+        assert any("tid" in e for e in validate_record(record))
+
+    def test_v1_span_needs_no_tid(self):
+        record = self._span(format=FORMAT_V1)
+        del record["tid"]
+        assert validate_record(record) == []
 
     def test_wrong_format_marker(self):
         errors = validate_record(self._span(format="repro.obs.v0"))
@@ -131,6 +144,48 @@ class TestValidateRecords:
         errors = validate_jsonl(text)
         assert any("not JSON" in e for e in errors)
 
+    def test_mixed_format_markers_rejected(self):
+        records = records_from_snapshot(_snapshot())
+        for record in records:
+            if record["type"] == "metric":
+                record["format"] = FORMAT_V1
+        assert any(
+            "mixed format markers" in e for e in validate_records(records)
+        )
+
+    def test_pure_v1_stream_still_validates(self):
+        records = records_from_snapshot(_snapshot())
+        for record in records:
+            record["format"] = FORMAT_V1
+            record.pop("tid", None)
+        assert validate_records(records) == []
+
+
+class TestWorkerLanes:
+    def test_root_pid_is_lane_zero_and_workers_sort(self):
+        spans = [
+            {"span_id": 1, "parent_id": None, "pid": 500},
+            {"span_id": 2, "parent_id": 1, "pid": 77},
+            {"span_id": 3, "parent_id": 1, "pid": 901},
+        ]
+        assert worker_lanes(spans) == {500: 0, 77: 1, 901: 2}
+
+    def test_lanes_survive_pid_renumbering_shape(self):
+        # Same topology, recycled pids: lanes keep the same structure.
+        def lanes(root, workers):
+            spans = [{"span_id": 1, "parent_id": None, "pid": root}] + [
+                {"span_id": i + 2, "parent_id": 1, "pid": pid}
+                for i, pid in enumerate(workers)
+            ]
+            return sorted(worker_lanes(spans).values())
+
+        assert lanes(10, [20, 30]) == lanes(99, [3, 7]) == [0, 1, 2]
+
+    def test_snapshot_spans_all_get_tids(self):
+        records = records_from_snapshot(_snapshot())
+        spans = [r for r in records if r["type"] == "span"]
+        assert spans and all(isinstance(r["tid"], int) for r in spans)
+
 
 class TestChecker:
     """`python -m repro.obs.check` — also the CI smoke gate."""
@@ -164,3 +219,29 @@ class TestChecker:
         assert main([str(good), str(bad)]) == 1
         assert main([]) == 2
         assert "usage" in capsys.readouterr().err
+
+    def test_empty_file_fails_with_exit_2(self, tmp_path, capsys):
+        path = self._write(tmp_path, "empty.jsonl", text="")
+        assert check_paths([path]) == 2
+        assert "empty export" in capsys.readouterr().err
+
+    def test_meta_only_file_fails_with_exit_2(self, tmp_path, capsys):
+        meta = {"format": FORMAT, "type": "meta", "run": {}}
+        path = self._write(
+            tmp_path, "hollow.jsonl", text=json.dumps(meta) + "\n"
+        )
+        assert content_record_count([meta]) == 0
+        assert check_paths([path]) == 2
+        assert "meta-only export" in capsys.readouterr().err
+
+    def test_invalid_outranks_empty(self, tmp_path, capsys):
+        empty = self._write(tmp_path, "empty.jsonl", text="")
+        bad = self._write(tmp_path, "bad.jsonl", text="{}\n")
+        assert check_paths([empty, bad]) == 1
+        capsys.readouterr()
+
+    def test_mixed_good_and_empty_still_fails(self, tmp_path, capsys):
+        good = self._write(tmp_path, "good.jsonl")
+        empty = self._write(tmp_path, "empty.jsonl", text="")
+        assert check_paths([good, empty]) == 2
+        capsys.readouterr()

@@ -307,3 +307,147 @@ class TestVisualizationFlags:
         code, text = _run(["schedule", dot_file, "--trace"])
         assert code == 0
         assert "place" in text
+
+
+class TestObservatory:
+    """`corpus --obs-db` recording plus the `repro obs` family on top."""
+
+    @pytest.fixture(scope="class")
+    def db(self, tmp_path_factory):
+        """A store holding two recordings of the same 40-loop corpus."""
+        path = str(tmp_path_factory.mktemp("obs") / "obs.db")
+        for _ in range(2):
+            code, text = _run(
+                ["corpus", "--loops", "40", "--no-cache", "--obs-db", path]
+            )
+            assert code == 0
+            assert "recorded in" in text
+        return path
+
+    def _run_ids(self, db):
+        code, text = _run(["obs", "runs", "--db", db, "--json"])
+        assert code == 0
+        return [run["run_id"] for run in json.loads(text)]
+
+    def test_corpus_records_two_distinct_runs(self, db):
+        run_ids = self._run_ids(db)
+        assert len(run_ids) == 2 and run_ids[0] != run_ids[1]
+
+    def test_runs_table_mode(self, db):
+        code, text = _run(["obs", "runs", "--db", db])
+        assert code == 0
+        assert "2 run(s)" in text
+        assert "repro.obs.v2" in text
+
+    def test_report_renders_percentiles(self, db):
+        code, text = _run(["obs", "report", "--db", db])
+        assert code == 0
+        assert "p50" in text and "p95" in text and "p99" in text
+        assert "scheduling" in text
+
+    def test_report_json_mode(self, db):
+        code, text = _run(["obs", "report", "--db", db, "--json"])
+        assert code == 0
+        doc = json.loads(text)
+        assert doc["phases"]
+        assert doc["baseline_breaches"] == []
+
+    def test_baseline_round_trip_through_the_cli(self, db, tmp_path):
+        baseline = str(tmp_path / "baseline.json")
+        code, text = _run(
+            ["obs", "report", "--db", db, "--make-baseline", baseline]
+        )
+        assert code == 0 and "baseline written" in text
+        code, text = _run(
+            ["obs", "report", "--db", db, "--baseline", baseline]
+        )
+        assert code == 0 and "within budget" in text
+        # A crushed budget must breach and exit 1.
+        doc = json.load(open(baseline))
+        doc["per_loop_self_seconds"] = {
+            k: 0.0 for k in doc["per_loop_self_seconds"]
+        }
+        with open(baseline, "w") as fh:
+            json.dump(doc, fh)
+        code, text = _run(
+            ["obs", "report", "--db", db, "--baseline", baseline]
+        )
+        assert code == 1 and "BASELINE BREACH" in text
+
+    def test_diff_of_twin_runs_is_clean(self, db):
+        first, second = self._run_ids(db)
+        code, text = _run(["obs", "diff", "--db", db, first, second])
+        assert code == 0
+        assert "CLEAN" in text
+
+    def test_diff_defaults_other_to_latest(self, db):
+        first, _ = self._run_ids(db)
+        code, _text = _run(["obs", "diff", "--db", db, first])
+        assert code == 0
+
+    def test_top_ranks_loops(self, db):
+        code, text = _run(["obs", "top", "--db", db, "--by", "wall"])
+        assert code == 0
+        assert "wall s" in text
+        code, text = _run(
+            ["obs", "top", "--db", db, "--by", "slack", "--json"]
+        )
+        assert code == 0
+        assert isinstance(json.loads(text), list)
+
+    def test_flame_writes_folded_stacks(self, db, tmp_path):
+        out_path = str(tmp_path / "flame.folded")
+        code, text = _run(
+            ["obs", "flame", "--db", db, "-o", out_path]
+        )
+        assert code == 0 and "stacks" in text
+        for line in open(out_path).read().splitlines():
+            stack, weight = line.rsplit(" ", 1)
+            assert stack and int(weight) > 0
+
+    def test_ingest_command_accepts_timing_reports(self, db, tmp_path):
+        timings = str(tmp_path / "timings.json")
+        code, _ = _run(
+            ["corpus", "--loops", "40", "--no-cache", "--timings", timings]
+        )
+        assert code == 0
+        code, text = _run(["obs", "ingest", "--db", db, timings])
+        assert code == 0
+        assert "timing" in text
+
+    def test_unknown_run_reference_exits_2(self, db, capsys):
+        code, _ = _run(["obs", "report", "--db", db, "zzzzzz"])
+        assert code == 2
+        assert "no run matches" in capsys.readouterr().err
+
+    def test_unusable_db_exits_2(self, tmp_path, capsys):
+        bogus = tmp_path / "garbage.db"
+        bogus.write_text("this is not a sqlite database, not even close")
+        code, _ = _run(["obs", "runs", "--db", str(bogus)])
+        assert code == 2
+        assert "not a usable store" in capsys.readouterr().err
+
+
+class TestProfileFlag:
+    def test_profile_records_samples_and_writes_folded(self, tmp_path):
+        db = str(tmp_path / "obs.db")
+        folded = str(tmp_path / "prof.folded")
+        code, text = _run(
+            ["corpus", "--loops", "60", "--no-cache", "--profile",
+             "--profile-out", folded, "--obs-db", db]
+        )
+        assert code == 0
+        if "no profiler samples" not in text:
+            assert "profiler samples" in text
+            for line in open(folded).read().splitlines():
+                stack, weight = line.rsplit(" ", 1)
+                assert stack and int(weight) > 0
+            code, flame_text = _run(
+                ["obs", "flame", "--db", db, "--source", "profile"]
+            )
+            assert code == 0 and flame_text.strip()
+
+    def test_profile_off_keeps_output_identical_shape(self):
+        code, text = _run(["corpus", "--loops", "40", "--no-cache"])
+        assert code == 0
+        assert "profiler" not in text
