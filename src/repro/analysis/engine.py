@@ -104,7 +104,8 @@ from repro.workloads.corpus import CorpusLoop
 #: whenever the meaning of a cached payload changes (new measurements, a
 #: scheduler fix that alters results, a payload schema change) so stale
 #: entries are never resurrected.
-CODE_FORMAT_VERSION = 4  # v4: backend-aware keys, attempt-record payloads
+CODE_FORMAT_VERSION = 5  # v5: per-(slot, alternative) findtimeslot_iters,
+# parametric-MinDist counter fields in the cached counter snapshots
 
 _PAYLOAD_FORMAT = "repro.loop-evaluation.v1"
 TIMING_FORMAT = "repro.engine-timing.v1"

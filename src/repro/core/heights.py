@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.core.scc import strongly_connected_components
+from repro.core.scc import shared_components
 from repro.core.stats import Counters
 from repro.ir.graph import DependenceGraph, GraphError
 
@@ -48,7 +48,9 @@ def height_r(
     heights: List[float] = [_NEG_INF] * graph.n_ops
     heights[graph.stop] = 0
 
-    for component in strongly_connected_components(graph, counters):
+    # Every candidate II re-solves the heights, but the component
+    # structure is II-independent — the memoized SCC run is shared.
+    for component in shared_components(graph, counters):
         members = set(component)
         # Seed every member from its external (already solved) successors.
         for p in component:

@@ -99,7 +99,9 @@ class InstructionDrivenScheduler(IterativeScheduler):
 
         return _AttemptResult(
             success=not self._unscheduled,
-            times=dict(self._times),
+            times={
+                op: t for op, t in enumerate(self._times) if t is not None
+            },
             alternatives=dict(self._alts),
             steps=steps,
         )
@@ -116,10 +118,13 @@ class InstructionDrivenScheduler(IterativeScheduler):
         pseudo path, so they are special-cased here).
         """
         operation = self.graph.operation(op)
-        self.counters.findtimeslot_iters += 1
         if operation.is_pseudo:
+            self.counters.findtimeslot_iters += 1
             return _PSEUDO_FIT
+        # One findtimeslot_iters tick per (slot, alternative) probe,
+        # matching the operation scheduler's FindTimeSlot accounting.
         for alternative in self._feasible_alts[operation.opcode]:
+            self.counters.findtimeslot_iters += 1
             if not self._mrt.conflicts(alternative, time):
                 return alternative
         return None

@@ -21,8 +21,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.deadline import Deadline, check_deadline
-from repro.core.mindist import MinDistMemo, compute_mindist, mindist_feasible
-from repro.core.scc import nontrivial_components, strongly_connected_components
+from repro.core.mindist import (
+    MinDistMemo,
+    compute_mindist,
+    mindist_feasible,
+)
+from repro.core.scc import nontrivial_components, shared_components
 from repro.core.stats import Counters
 from repro.ir.graph import DependenceGraph, GraphError
 
@@ -123,8 +127,24 @@ def _min_feasible_ii(
     same memo.  ``deadline`` is checked before every probe (each one is
     a full Floyd-Warshall pass over the SCC), so a watchdog can stop a
     pathological doubling search between candidates.
+
+    With a parametric memo (``memo.impl == "parametric"``) there is no
+    search at all: the closure over ``ops`` answers in closed form with
+    the smallest II where the diagonal envelope crosses ≤ 0.  Because
+    feasibility is monotone in II (every diagonal line has distance
+    ≥ 0), ``max(seed, crossing)`` is exactly what the doubling/binary
+    discipline converges to.
     """
     ops = list(ops)
+    if memo is not None and memo.impl == "parametric":
+        closure = memo.closure(ops, counters, deadline)
+        crossing = closure.crossing()
+        if math.isinf(crossing):
+            raise GraphError(
+                f"graph {graph.name!r} has a zero-distance dependence "
+                "circuit; no initiation interval is feasible"
+            )
+        return max(max(1, start), int(crossing))
 
     def feasible(ii: int) -> bool:
         """No positive MinDist diagonal over ``ops`` at this II."""
@@ -193,7 +213,7 @@ def rec_mii(
     """
     best = max(1, start)
     if components is None:
-        components = strongly_connected_components(graph, counters)
+        components = shared_components(graph, counters)
     for op in range(graph.n_ops):
         for edge in graph.succ_edges(op):
             if edge.succ != op or edge.delay <= 0:
@@ -204,6 +224,9 @@ def rec_mii(
                     f"operation {op} with positive delay"
                 )
             best = max(best, math.ceil(edge.delay / edge.distance))
+    # Each SCC pays its own (small) MinDist analysis; with a parametric
+    # memo, _min_feasible_ii answers from one per-SCC closure in closed
+    # form instead of a doubling/binary search of per-II passes.
     for component in nontrivial_components(components):
         best = _min_feasible_ii(
             graph, component, best, counters, memo, deadline
@@ -236,6 +259,7 @@ def compute_mii(
     exact: bool = True,
     obs=None,
     deadline: Optional[Deadline] = None,
+    mindist_impl: Optional[str] = None,
 ) -> MIIResult:
     """Compute MII = max(ResMII, RecMII) for a sealed graph.
 
@@ -252,16 +276,23 @@ def compute_mii(
     :class:`~repro.core.mindist.MinDistMemo` instead of a fresh
     Floyd-Warshall pass).  The memo rides out on the result's
     ``mindist_memo`` so the schedule-length bounds reuse it.
+
+    ``mindist_impl`` picks how MinDist queries are answered
+    (``"parametric"`` closes the envelope semiring once per graph and
+    reads the RecMII off the diagonal in closed form; ``"fw"`` is the
+    per-II Floyd-Warshall oracle) — explicit arg > ``REPRO_MINDIST_IMPL``
+    environment override > parametric.  The result is identical either
+    way; only the cost differs.
     """
     from repro.obs.context import NULL_OBS
 
     obs = obs if obs is not None else NULL_OBS
     if not graph.sealed:
         raise GraphError(f"graph {graph.name!r} must be sealed before MII")
-    memo = MinDistMemo(graph)
+    memo = MinDistMemo(graph, impl=mindist_impl)
     with obs.span("mii", graph=graph.name, exact=exact) as mii_span:
         with obs.span("mii.scc"):
-            components = strongly_connected_components(graph, counters)
+            components = shared_components(graph, counters)
         with obs.span("mii.res") as res_span:
             res = res_mii(graph, machine, counters)
             res_span.set("res_mii", res)
@@ -277,6 +308,7 @@ def compute_mii(
             rec_span.set("rec_mii", rec)
             rec_span.set("mindist_cache_hits", memo.hits)
         obs.counter("mii.mindist_cache_hits").inc(memo.hits)
+        obs.counter("mindist.parametric_evals").inc(memo.parametric_evals)
         mii_span.set("mii", mii)
     return MIIResult(
         res_mii=res,

@@ -34,7 +34,7 @@ byte-exact ``render`` output (property-tested in
 from __future__ import annotations
 
 import os
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.machine.resources import (
     CompiledAlternative,
@@ -182,6 +182,74 @@ class ModuloReservations:
     def self_conflicting(self, table) -> bool:
         """True when the table folds onto itself at this interval."""
         return self._compiled(table).self_conflicting
+
+    def first_free_slot(
+        self, tables: Sequence, min_time: int
+    ) -> Tuple[Optional[int], Optional[int]]:
+        """Batched FindTimeSlot kernel over one II-wide window.
+
+        Scans the window ``[min_time, min_time + II - 1]`` across *all*
+        of ``tables`` at once and returns ``(time, index)`` for the
+        earliest conflict-free placement — the index is the position in
+        ``tables`` of the alternative that fits, with ties at one time
+        going to the earliest-declared alternative — or ``(None, None)``
+        when the whole window conflicts for every table.
+
+        Instead of probing II × len(tables) (slot, alternative) pairs,
+        each table's conflict-slot bit-vector is built by OR-ing one
+        rotation of the relevant row's occupancy bits per distinct
+        ``(row, offset % II)`` use (``CompiledAlternative.row_uses``):
+        bit ``s`` of ``rotr(row_occ, offset)`` says "issue slot ``s``
+        collides through this use".  Rotating the free vector by
+        ``min_time % II`` anchors bit 0 at ``min_time``, and the lowest
+        set bit is the first free slot.  The result — and the probe
+        accounting in :attr:`checks` — is exactly what the scalar
+        time-major, alternative-minor scan would have produced, so the
+        ``mrt.conflict_checks`` / ``mrt.mask_fastpath`` telemetry and
+        the ``findtimeslot_iters`` complexity counter stay
+        implementation-independent.
+        """
+        ii = self.ii
+        full = (1 << ii) - 1
+        start = min_time % ii
+        occ = self._occ >> 1  # drop the sentinel: row r starts at bit r*ii
+        best_w: Optional[int] = None
+        best_idx: Optional[int] = None
+        for idx, table in enumerate(tables):
+            compiled = (
+                table
+                if type(table) is CompiledAlternative
+                else self._compiled(table)
+            )
+            if compiled.self_conflicting:
+                continue
+            conflict = 0
+            for row, offset in compiled.row_uses:
+                row_occ = (occ >> (row * ii)) & full
+                if offset:
+                    row_occ = (
+                        (row_occ >> offset) | (row_occ << (ii - offset))
+                    ) & full
+                conflict |= row_occ
+                if conflict == full:
+                    break
+            free = ~conflict & full
+            if not free:
+                continue
+            if start:
+                free = ((free >> start) | (free << (ii - start))) & full
+            w = (free & -free).bit_length() - 1
+            if best_w is None or w < best_w:
+                best_w, best_idx = w, idx
+                if w == 0:
+                    break
+        # As-if probe accounting: the scalar scan would have issued one
+        # ``conflicts`` call per (slot, alternative) pair up to the hit.
+        if best_w is None:
+            self.checks += ii * len(tables)
+            return None, None
+        self.checks += best_w * len(tables) + best_idx + 1
+        return min_time + best_w, best_idx
 
     def conflicting_ops(self, tables: Iterable, time: int) -> Set[int]:
         """Operations occupying any cell any of ``tables`` would use.

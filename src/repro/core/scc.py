@@ -82,6 +82,33 @@ def strongly_connected_components(
     return components
 
 
+def shared_components(
+    graph: DependenceGraph,
+    counters: Optional[Counters] = None,
+) -> List[List[int]]:
+    """Memoized :func:`strongly_connected_components` for sealed graphs.
+
+    The component structure of a sealed graph never changes, so the
+    Tarjan run is paid once per graph and shared by every consumer (the
+    MII computation, the HeightR solve of every candidate II, ...).
+    The traversal cost is billed to ``counters.scc_steps`` on *every*
+    call — as-if accounting, like the batched FindTimeSlot probes — so
+    the complexity telemetry is independent of cache warmth.  Unsealed
+    graphs fall through to a fresh run.
+    """
+    cached = getattr(graph, "_scc_cache", None) if graph.sealed else None
+    if cached is None:
+        probe = Counters()
+        components = strongly_connected_components(graph, probe)
+        cached = (components, probe.scc_steps)
+        if graph.sealed:
+            graph._scc_cache = cached
+    components, cost = cached
+    if counters is not None:
+        counters.scc_steps += cost
+    return [list(c) for c in components]
+
+
 def condensation_order(
     graph: DependenceGraph,
     counters: Optional[Counters] = None,

@@ -25,17 +25,45 @@ paper describes:
 from __future__ import annotations
 
 import heapq
+import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set, Tuple
+
+import numpy as np
 
 from repro.core.deadline import Deadline, check_deadline
 from repro.core.heights import height_r
 from repro.core.mii import MIIResult, compute_mii
-from repro.core.mrt import make_modulo_reservations, resolve_mrt_impl
+from repro.core.mrt import (
+    ModuloReservations,
+    make_modulo_reservations,
+    resolve_mrt_impl,
+)
 from repro.core.schedule import Schedule
 from repro.core.stats import Counters
 from repro.ir.graph import DependenceGraph, GraphError
 from repro.machine.resources import ReservationTable
+
+
+#: FindTimeSlot probing strategies; "batch" answers a whole II-wide
+#: window across all alternatives with a handful of mask rotations.
+SLOT_IMPLS = ("batch", "scalar")
+
+#: Environment override consulted when no explicit ``slot_impl`` is given.
+SLOT_IMPL_ENV = "REPRO_SLOT_IMPL"
+
+
+def resolve_slot_impl(impl: Optional[str] = None) -> str:
+    """Pick the FindTimeSlot strategy: explicit arg > environment > batch."""
+    choice = (
+        impl if impl is not None else os.environ.get(SLOT_IMPL_ENV, "batch")
+    )
+    if choice not in SLOT_IMPLS:
+        raise ValueError(
+            f"unknown slot implementation {choice!r}; "
+            f"choose from {SLOT_IMPLS}"
+        )
+    return choice
 
 
 class SchedulingFailure(RuntimeError):
@@ -274,6 +302,7 @@ class IterativeScheduler:
         trace=None,
         mrt_impl: Optional[str] = None,
         deadline: Optional[Deadline] = None,
+        slot_impl: Optional[str] = None,
     ) -> None:
         if not graph.sealed:
             raise GraphError(f"graph {graph.name!r} must be sealed")
@@ -284,6 +313,8 @@ class IterativeScheduler:
         self.trace = trace
         self.deadline = deadline
         self.mrt_impl = resolve_mrt_impl(mrt_impl)
+        self.slot_impl = resolve_slot_impl(slot_impl)
+        self._slot_batch_probes = 0
         try:
             scheme = PRIORITY_SCHEMES[priority]
         except KeyError:
@@ -332,7 +363,73 @@ class IterativeScheduler:
             if not usable:
                 return _AttemptResult(False, {}, {}, 0)
             self._feasible_alts[operation.opcode] = usable
-        self._times: Dict[int, int] = {}
+        # Hot-loop views: pseudo flags, opcodes, successor edge lists,
+        # and raw predecessor edges.  All of it is II-independent for a
+        # sealed graph, so it is computed once and cached on the graph
+        # (``graph.succ_edges`` copies into a fresh tuple per call —
+        # thousands of calls per attempt otherwise); only the
+        # II-resolved weights below are rebuilt per attempt.
+        cache = getattr(graph, "_sched_cache", None)
+        if cache is None:
+            all_ops = [graph.operation(op) for op in range(graph.n_ops)]
+            pred_raw = []
+            for op in range(graph.n_ops):
+                entries = []
+                count = 0
+                for edge in graph.pred_edges(op):
+                    count += 1
+                    if edge.pred == op:
+                        continue
+                    entries.append((edge.pred, edge.delay, edge.distance))
+                pred_raw.append((tuple(entries), count))
+            cache = graph._sched_cache = (
+                [operation.is_pseudo for operation in all_ops],
+                [
+                    None if operation.is_pseudo else operation.opcode
+                    for operation in all_ops
+                ],
+                [graph.succ_edges(op) for op in range(graph.n_ops)],
+                pred_raw,
+            )
+        self._is_pseudo, opcodes, self._succ_lists, pred_raw = cache
+        self._op_alts = [
+            None if opcode is None else self._feasible_alts[opcode]
+            for opcode in opcodes
+        ]
+        # Batched FindTimeSlot needs the bitmask MRT's occupancy integer;
+        # the dict oracle keeps the scalar scan (exactly as recorded in
+        # the as-if probe accounting, so counters agree either way).
+        self._batch_slots = (
+            self.slot_impl == "batch"
+            and type(self._mrt) is ModuloReservations
+        )
+        # Estart sweeps run once per scheduling step (and per readiness
+        # probe in the instruction-driven style); precompute each
+        # operation's predecessor array with the II-resolved edge weight
+        # ``delay - II*distance`` so the sweep is a max over pairs — and
+        # a vectorized numpy max for high-fanin operations.
+        n_ops = graph.n_ops
+        ii = self.ii
+        pred_pairs: List[tuple] = [
+            tuple(
+                (pred, delay - ii * distance)
+                for pred, delay, distance in entries
+            )
+            for entries, _ in pred_raw
+        ]
+        self._pred_pairs = pred_pairs
+        self._pred_counts = [count for _, count in pred_raw]
+        self._pred_vec: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        wide = [op for op in range(n_ops) if len(pred_pairs[op]) >= 16]
+        for op in wide:
+            arr = np.array(pred_pairs[op], dtype=np.int64)
+            self._pred_vec[op] = (arr[:, 0], arr[:, 1].astype(float))
+        self._time_arr = (
+            np.full(n_ops, -np.inf) if wide else None
+        )
+        # Dense slot array: None marks unscheduled.  Indexing beats a
+        # dict in the Estart sweep, the hottest read in the attempt.
+        self._times: List[Optional[int]] = [None] * n_ops
         self._alts: Dict[int, Optional[ReservationTable]] = {}
         self._prev_time: Dict[int, int] = {}
         self._never_scheduled: Set[int] = set(range(graph.n_ops))
@@ -369,7 +466,7 @@ class IterativeScheduler:
             slot, alternative = self._find_time_slot(op, min_time, max_time)
             if (
                 alternative is None
-                and not self.graph.operation(op).is_pseudo
+                and not self._is_pseudo[op]
                 and not self.allow_displacement
             ):
                 # Greedy mode: no conflict-free slot means this II is
@@ -380,7 +477,9 @@ class IterativeScheduler:
 
         return _AttemptResult(
             success=not self._unscheduled,
-            times=dict(self._times),
+            times={
+                op: t for op, t in enumerate(self._times) if t is not None
+            },
             alternatives=dict(self._alts),
             steps=steps,
         )
@@ -396,16 +495,26 @@ class IterativeScheduler:
         raise AssertionError("heap empty while operations remain unscheduled")
 
     def _calculate_early_start(self, op: int) -> int:
-        """Estart per Figure 5b: only scheduled predecessors constrain."""
+        """Estart per Figure 5b: only scheduled predecessors constrain.
+
+        The sweep runs over the per-operation predecessor arrays built in
+        :meth:`_prepare` (weights already II-resolved); high-fanin
+        operations take a vectorized numpy max over the scheduled-time
+        array, where unscheduled predecessors sit at −inf and drop out of
+        the max for free.
+        """
+        self.counters.estart_preds += self._pred_counts[op]
+        vec = self._pred_vec.get(op)
+        if vec is not None:
+            best = float(np.max(self._time_arr[vec[0]] + vec[1]))
+            return int(best) if best > 0 else 0
         estart = 0
-        for edge in self.graph.pred_edges(op):
-            self.counters.estart_preds += 1
-            if edge.pred == op:
-                continue
-            pred_time = self._times.get(edge.pred)
+        times = self._times
+        for pred, weight in self._pred_pairs[op]:
+            pred_time = times[pred]
             if pred_time is None:
                 continue
-            candidate = pred_time + edge.delay - self.ii * edge.distance
+            candidate = pred_time + weight
             if candidate > estart:
                 estart = candidate
         return estart
@@ -419,16 +528,28 @@ class IterativeScheduler:
         the slot was forced (the caller then displaces conflicting
         operations) or when the operation is a pseudo-operation.
         """
-        operation = self.graph.operation(op)
-        if operation.is_pseudo:
+        if self._is_pseudo[op]:
             self.counters.findtimeslot_iters += 1
             return min_time, None
-        alternatives = self._feasible_alts[operation.opcode]
-        for time in range(min_time, max_time + 1):
-            self.counters.findtimeslot_iters += 1
-            for alternative in alternatives:
-                if not self._mrt.conflicts(alternative, time):
-                    return time, alternative
+        alternatives = self._op_alts[op]
+        if self._batch_slots:
+            # One mask/rotate sweep answers the whole II-wide window over
+            # every alternative; ``findtimeslot_iters`` still records the
+            # (slot, alternative) pairs the scalar scan would have probed.
+            self._slot_batch_probes += 1
+            time, index = self._mrt.first_free_slot(alternatives, min_time)
+            if time is not None:
+                self.counters.findtimeslot_iters += (
+                    (time - min_time) * len(alternatives) + index + 1
+                )
+                return time, alternatives[index]
+            self.counters.findtimeslot_iters += self.ii * len(alternatives)
+        else:
+            for time in range(min_time, max_time + 1):
+                for alternative in alternatives:
+                    self.counters.findtimeslot_iters += 1
+                    if not self._mrt.conflicts(alternative, time):
+                        return time, alternative
         # No conflict-free slot: pick one that guarantees forward progress.
         if op in self._never_scheduled or min_time > self._prev_time[op]:
             return min_time, None
@@ -438,10 +559,9 @@ class IterativeScheduler:
         self, op: int, slot: int, alternative: Optional[ReservationTable]
     ) -> None:
         """Schedule per Figure 3's note: displace whatever conflicts."""
-        operation = self.graph.operation(op)
         forced = False
-        if not operation.is_pseudo:
-            alternatives = self._feasible_alts[operation.opcode]
+        if not self._is_pseudo[op]:
+            alternatives = self._op_alts[op]
             if alternative is None:
                 # Forced placement (Section 3.4): displace every operation
                 # conflicting with *any* alternative, then take the first.
@@ -463,13 +583,15 @@ class IterativeScheduler:
         self._place(op, slot, alternative)
         # Displace dependence-violated successors; predecessors were
         # honoured through Estart.
-        for edge in self.graph.succ_edges(op):
+        times = self._times
+        ii = self.ii
+        for edge in self._succ_lists[op]:
             if edge.succ == op:
                 continue
-            succ_time = self._times.get(edge.succ)
+            succ_time = times[edge.succ]
             if succ_time is None:
                 continue
-            if succ_time < slot + edge.delay - self.ii * edge.distance:
+            if succ_time < slot + edge.delay - ii * edge.distance:
                 self._unschedule(edge.succ, culprit=op)
 
     def _place(
@@ -481,6 +603,8 @@ class IterativeScheduler:
             # the schedule itself records the underlying table.
             alternative = getattr(alternative, "table", alternative)
         self._times[op] = slot
+        if self._time_arr is not None:
+            self._time_arr[op] = slot
         self._alts[op] = alternative
         self._prev_time[op] = slot
         self._unscheduled.discard(op)
@@ -493,7 +617,9 @@ class IterativeScheduler:
         if self.trace is not None:
             self.trace.displace(op, self._times[op], culprit)
         self._mrt.release(op)
-        del self._times[op]
+        self._times[op] = None
+        if self._time_arr is not None:
+            self._time_arr[op] = -np.inf
         del self._alts[op]
         self._unscheduled.add(op)
         heapq.heappush(self._heap, (-self.heights[op], op))
@@ -542,6 +668,8 @@ def modulo_schedule(
     obs=None,
     mrt_impl: Optional[str] = None,
     deadline: Optional[Deadline] = None,
+    slot_impl: Optional[str] = None,
+    mindist_impl: Optional[str] = None,
 ) -> ModuloScheduleResult:
     """ModuloSchedule (Figure 2): find a legal modulo schedule.
 
@@ -588,6 +716,19 @@ def modulo_schedule(
         Reservation-table implementation: ``"mask"`` (the bitmask fast
         path, the default), ``"dict"`` (the original dict-of-cells
         oracle), or ``None`` to consult ``REPRO_MRT_IMPL``.
+    slot_impl:
+        FindTimeSlot strategy: ``"batch"`` (the default — one
+        mask/rotate sweep per window over all alternatives, bitmask MRT
+        only; the dict oracle always scans), ``"scalar"`` (the per-slot,
+        per-alternative scan), or ``None`` to consult
+        ``REPRO_SLOT_IMPL``.  Schedules and counters are identical
+        either way.
+    mindist_impl:
+        MinDist implementation forwarded to
+        :func:`repro.core.mii.compute_mii` when ``mii_result`` is not
+        supplied: ``"parametric"`` (one envelope-semiring closure per
+        graph, the default), ``"fw"`` (the per-II Floyd-Warshall
+        oracle), or ``None`` to consult ``REPRO_MINDIST_IMPL``.
     deadline:
         Optional cooperative :class:`repro.core.deadline.Deadline`.
         Checked before every II attempt and every 32 operation-scheduling
@@ -626,7 +767,7 @@ def modulo_schedule(
     if mii_result is None:
         mii_result = compute_mii(
             graph, machine, counters, exact=exact_mii, obs=obs,
-            deadline=deadline,
+            deadline=deadline, mindist_impl=mindist_impl,
         )
     if max_ii is None:
         max_ii = default_max_ii(graph, mii_result.mii)
@@ -651,6 +792,7 @@ def modulo_schedule(
                 scheduler = scheduler_class(
                     graph, machine, ii, counters, priority=priority,
                     trace=trace, mrt_impl=mrt_impl, deadline=deadline,
+                    slot_impl=slot_impl,
                 )
                 attempt = scheduler.run(budget)
             steps_by_ii[ii] = attempt.steps
@@ -658,6 +800,9 @@ def modulo_schedule(
             if mrt is not None:
                 obs.counter("mrt.conflict_checks").inc(mrt.checks)
                 obs.counter("mrt.mask_fastpath").inc(mrt.fastpath_checks)
+            obs.counter("sched.slot_batch_probes").inc(
+                scheduler._slot_batch_probes
+            )
             attempt_span.set("success", attempt.success)
             attempt_span.set("steps", attempt.steps)
             attempt_span.set("budget", budget)

@@ -133,9 +133,16 @@ class CompiledAlternative:
         True when two uses of one resource fold onto the same modulo slot
         at this II, making the table unplaceable whatever the schedule
         holds (detected once here, never re-derived per probe).
+    row_uses:
+        The deduplicated ``(row, offset % ii)`` pairs of the table's
+        uses, sorted.  The batched FindTimeSlot kernel consumes these:
+        for each pair, rotating the row's II-bit occupancy right by the
+        folded offset yields the issue slots this use alone would
+        conflict at, and OR-ing the rotations over ``row_uses`` yields
+        the whole conflict-slot bit-vector in one sweep.
     """
 
-    __slots__ = ("table", "ii", "slot_masks", "self_conflicting")
+    __slots__ = ("table", "ii", "slot_masks", "self_conflicting", "row_uses")
 
     def __init__(
         self,
@@ -143,11 +150,13 @@ class CompiledAlternative:
         ii: int,
         slot_masks: Tuple[int, ...],
         self_conflicting: bool,
+        row_uses: Tuple[Tuple[int, int], ...] = (),
     ) -> None:
         self.table = table
         self.ii = ii
         self.slot_masks = slot_masks
         self.self_conflicting = self_conflicting
+        self.row_uses = row_uses
 
     @property
     def name(self) -> str:
@@ -192,7 +201,12 @@ def compile_alternative(
         masks.append(mask)
     if self_conflicting:
         masks = [mask | 1 for mask in masks]
-    return CompiledAlternative(table, ii, tuple(masks), self_conflicting)
+    row_uses = tuple(
+        sorted({(rows[resource], offset % ii) for resource, offset in table.uses})
+    )
+    return CompiledAlternative(
+        table, ii, tuple(masks), self_conflicting, row_uses
+    )
 
 
 def compile_linear_uses(

@@ -172,10 +172,10 @@ class SamplingProfiler:
     def __exit__(self, *exc) -> None:
         self.stop()
 
-    def collapsed(self) -> Dict[str, int]:
-        """The samples so far, profiler-internal frames stripped."""
+    @staticmethod
+    def _collapse(samples: Dict[str, int]) -> Dict[str, int]:
         out: Dict[str, int] = {}
-        for stack, count in self.samples.items():
+        for stack, count in samples.items():
             frames = [
                 frame
                 for frame in stack.split(";")
@@ -187,6 +187,14 @@ class SamplingProfiler:
             out[cleaned] = out.get(cleaned, 0) + count
         return out
 
+    def collapsed(self) -> Dict[str, int]:
+        """The samples so far, profiler-internal frames stripped.
+
+        In thread mode the sampler keeps inserting while we read; the
+        dict is snapshotted first so iteration never races a resize.
+        """
+        return self._collapse(dict(self.samples))
+
     def take(self) -> Dict[str, int]:
         """Harvest and reset the samples, leaving the timer armed.
 
@@ -195,10 +203,13 @@ class SamplingProfiler:
         harvests, so tasks shorter than one interval still accumulate
         samples statistically over a worker's lifetime (a per-task
         profiler would re-arm the timer each task and never fire).
+
+        The reset swaps the dict out atomically (one store under the
+        GIL) before collapsing, so a concurrently sampling thread lands
+        its next sample in the fresh dict instead of racing the read.
         """
-        out = self.collapsed()
-        self.samples = {}
-        return out
+        harvested, self.samples = self.samples, {}
+        return self._collapse(harvested)
 
 
 # ----------------------------------------------------------------------

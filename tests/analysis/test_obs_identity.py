@@ -98,6 +98,21 @@ class TestMetricsByteIdentity:
         assert counters["mrt.mask_fastpath"] == counters["mrt.conflict_checks"]
         assert "mii.mindist_cache_hits" in counters
 
+    def test_metrics_hold_the_ii_search_kernel_counters(self, machine, corpus):
+        """The parametric-MinDist and batched-slot kernels report their
+        work: every materialized MinDist(II) plane and every batched
+        FindTimeSlot probe, identical whatever ``--jobs`` produced them."""
+        serial, _ = _traced_run(machine, corpus, jobs=1)
+        fanned, _ = _traced_run(machine, corpus, jobs=4)
+        for obs in (serial, fanned):
+            counters = obs.metrics.snapshot()["counters"]
+            assert counters["mindist.parametric_evals"] > 0
+            assert counters["sched.slot_batch_probes"] > 0
+        assert (
+            serial.metrics.snapshot()["counters"]
+            == fanned.metrics.snapshot()["counters"]
+        )
+
 
 class TestCountersSurviveTheRunner:
     def test_evaluate_corpus_merges_into_caller_counters(
@@ -108,7 +123,7 @@ class TestCountersSurviveTheRunner:
         evaluate_corpus(corpus, machine, jobs=2, counters=parallel)
         assert serial.snapshot() == parallel.snapshot()
         assert serial.ops_scheduled > 0
-        assert serial.mindist_inner > 0
+        assert serial.mindist_closure_inner > 0
 
     def test_timing_report_carries_the_aggregate(self, machine, corpus):
         obs, result = _traced_run(machine, corpus, jobs=2)

@@ -177,10 +177,10 @@ class TestComputeMII:
 
 class TestMinDistMemoization:
     def test_warm_memo_recomputes_nothing(self, alu):
-        """A second RecMII search over the same memo performs zero fresh
-        ComputeMinDist passes — every probe is a cache hit."""
+        """A second RecMII search over the same fw memo performs zero
+        fresh ComputeMinDist passes — every probe is a cache hit."""
         graph = cross_iteration_graph(alu, distance=1)
-        memo = MinDistMemo(graph)
+        memo = MinDistMemo(graph, impl="fw")
         cold = Counters()
         assert rec_mii(graph, counters=cold, memo=memo) == 4
         assert cold.mindist_invocations > 0
@@ -189,6 +189,22 @@ class TestMinDistMemoization:
         assert rec_mii(graph, counters=warm, memo=memo) == 4
         assert warm.mindist_invocations == 0
         assert memo.hits >= memo.misses
+
+    def test_warm_parametric_memo_recomputes_nothing(self, alu):
+        """Under the parametric default the closure is built exactly once
+        (the only miss); a warm RecMII does no fresh N³-equivalent work."""
+        graph = cross_iteration_graph(alu, distance=1)
+        memo = MinDistMemo(graph, impl="parametric")
+        cold = Counters()
+        assert rec_mii(graph, counters=cold, memo=memo) == 4
+        assert cold.mindist_invocations == 0
+        assert cold.mindist_closure_inner > 0
+        assert memo.misses == 1
+        warm = Counters()
+        assert rec_mii(graph, counters=warm, memo=memo) == 4
+        assert warm.mindist_closure_inner == 0
+        assert memo.misses == 1
+        assert memo.hits >= 1
 
     def test_compute_mii_carries_the_memo_out(self, alu):
         graph = cross_iteration_graph(alu, distance=1)
@@ -199,9 +215,9 @@ class TestMinDistMemoization:
 
     def test_bound_reuses_feasible_ii_matrices(self, alu):
         """Repeated schedule-length bounds at one II cost one whole-graph
-        Floyd-Warshall pass in total when the MII memo is passed back."""
+        Floyd-Warshall pass in total when the fw MII memo is passed back."""
         graph = cross_iteration_graph(alu, distance=1)
-        result = compute_mii(graph, alu)
+        result = compute_mii(graph, alu, mindist_impl="fw")
         memo = result.mindist_memo
         counters = Counters()
         first = schedule_length_lower_bound(
@@ -214,6 +230,26 @@ class TestMinDistMemoization:
         )
         assert second == first
         assert counters.mindist_invocations == after_first
+        assert memo.hits >= 1
+
+    def test_bound_materializes_from_the_parametric_closure(self, alu):
+        """Under the parametric default a bound at a fresh II is one
+        O(N²·P) evaluation of the already-closed envelope — no new
+        Floyd-Warshall pass — and repeating it is an entry cache hit."""
+        graph = cross_iteration_graph(alu, distance=1)
+        result = compute_mii(graph, alu, mindist_impl="parametric")
+        memo = result.mindist_memo
+        counters = Counters()
+        first = schedule_length_lower_bound(
+            graph, result.mii, counters, memo=memo
+        )
+        assert counters.mindist_invocations == 0
+        assert counters.mindist_parametric_evals == 1
+        second = schedule_length_lower_bound(
+            graph, result.mii, counters, memo=memo
+        )
+        assert second == first
+        assert counters.mindist_parametric_evals == 1
         assert memo.hits >= 1
 
     def test_memo_for_another_graph_is_ignored(self, alu):

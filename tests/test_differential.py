@@ -174,6 +174,127 @@ class TestMrtImplementationParity:
         assert forced.schedule.times == defaulted.schedule.times
 
 
+#: Counter fields that deliberately differ between the MinDist
+#: implementations: fw pays per-probe Floyd-Warshall passes, parametric
+#: pays one closure build plus O(N²·P) envelope evaluations.
+MINDIST_IMPL_COUNTERS = frozenset(
+    {
+        "mindist_inner",
+        "mindist_invocations",
+        "mindist_closure_inner",
+        "mindist_parametric_evals",
+    }
+)
+
+
+def _impl_free_snapshot(counters):
+    return {
+        name: value
+        for name, value in counters.snapshot().items()
+        if name not in MINDIST_IMPL_COUNTERS
+    }
+
+
+class TestMinDistImplementationParity:
+    """The parametric closure and the per-II Floyd-Warshall oracle must
+    drive the II search identically.
+
+    Acceptance for the parametric kernel: over the *full* corpus, both
+    implementations reach the same II, the same per-operation times, the
+    same opcode alternatives, and — apart from the counters that *define*
+    the implementations' work — the same counter snapshot.  MinDist is a
+    pure representation change; only its cost model moves.
+    """
+
+    def test_modulo_scheduler_agrees_over_the_full_corpus(
+        self, machine, corpus
+    ):
+        from repro.core import Counters
+
+        for loop in corpus:
+            fast_counters, oracle_counters = Counters(), Counters()
+            fast = modulo_schedule(
+                loop.graph,
+                machine,
+                counters=fast_counters,
+                mindist_impl="parametric",
+            )
+            oracle = modulo_schedule(
+                loop.graph,
+                machine,
+                counters=oracle_counters,
+                mindist_impl="fw",
+            )
+            context = loop.name
+            assert fast.ii == oracle.ii, context
+            assert fast.schedule.times == oracle.schedule.times, context
+            assert _alternative_names(fast.schedule) == _alternative_names(
+                oracle.schedule
+            ), context
+            assert _impl_free_snapshot(fast_counters) == _impl_free_snapshot(
+                oracle_counters
+            ), context
+            # The whole point of the closure: the oracle's N³ passes
+            # vanish, replaced by closure builds plus cheap evaluations.
+            assert fast_counters.mindist_invocations == 0, context
+            assert oracle_counters.mindist_parametric_evals == 0, context
+
+    def test_environment_selects_the_oracle_end_to_end(
+        self, machine, corpus, monkeypatch
+    ):
+        """REPRO_MINDIST_IMPL=fw routes a whole evaluation through the
+        scalar oracle and changes no observable result."""
+        loop = corpus[0]
+        defaulted = modulo_schedule(loop.graph, machine)
+        monkeypatch.setenv("REPRO_MINDIST_IMPL", "fw")
+        forced = modulo_schedule(loop.graph, machine)
+        assert forced.ii == defaulted.ii
+        assert forced.schedule.times == defaulted.schedule.times
+
+
+class TestSlotImplementationParity:
+    """Batched FindTimeSlot and the scalar time-major scan must place
+    every operation identically — same slots, same alternatives, and the
+    *same counter snapshot in full*: the batch path accounts its probes
+    as if the scalar scan had run."""
+
+    def test_modulo_scheduler_agrees_over_the_full_corpus(
+        self, machine, corpus
+    ):
+        from repro.core import Counters
+
+        for loop in corpus:
+            batch_counters, scalar_counters = Counters(), Counters()
+            batch = modulo_schedule(
+                loop.graph, machine, counters=batch_counters, slot_impl="batch"
+            )
+            scalar = modulo_schedule(
+                loop.graph,
+                machine,
+                counters=scalar_counters,
+                slot_impl="scalar",
+            )
+            context = loop.name
+            assert batch.ii == scalar.ii, context
+            assert batch.schedule.times == scalar.schedule.times, context
+            assert _alternative_names(batch.schedule) == _alternative_names(
+                scalar.schedule
+            ), context
+            assert (
+                batch_counters.snapshot() == scalar_counters.snapshot()
+            ), context
+
+    def test_environment_selects_the_scalar_scan_end_to_end(
+        self, machine, corpus, monkeypatch
+    ):
+        loop = corpus[0]
+        defaulted = modulo_schedule(loop.graph, machine)
+        monkeypatch.setenv("REPRO_SLOT_IMPL", "scalar")
+        forced = modulo_schedule(loop.graph, machine)
+        assert forced.ii == defaulted.ii
+        assert forced.schedule.times == defaulted.schedule.times
+
+
 @pytest.fixture(scope="module")
 def exact_results(machine, corpus):
     """Every corpus loop through the exact backend, with solver budgets
